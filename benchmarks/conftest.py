@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Experiment benchmarks run one round by design: each experiment is itself
+a repetition-averaged measurement, and regenerating a figure twice adds
+time without adding information.  The micro-benchmarks (core kernels)
+use pytest-benchmark's normal calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import prepare_topology, scale_params
+from repro.probing import ProberConfig, ProbingSimulator
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark *func* with a single round/iteration."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_tree():
+    """A small tree topology with a pre-simulated campaign."""
+    params = scale_params("tiny")
+    prepared = prepare_topology("tree", params.sized(tree_nodes=150), 7)
+    config = ProberConfig(probes_per_snapshot=400, congestion_probability=0.1)
+    simulator = ProbingSimulator(
+        prepared.paths, prepared.topology.network.num_links, config=config
+    )
+    campaign = simulator.run_campaign(21, prepared.routing, seed=8)
+    return prepared, simulator, campaign

@@ -1,0 +1,58 @@
+"""Ablation benchmarks over the design choices DESIGN.md calls out.
+
+Accuracy ablations live in ``repro.experiments.ablations`` (and are
+exercised here through the harness); these benchmarks additionally time
+the alternatives so the speed side of each trade-off is on record:
+
+* packet vs flow simulator fidelity;
+* Gilbert vs Bernoulli loss processes;
+* negative-covariance equations dropped vs kept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.variance import estimate_link_variances
+from repro.experiments import EXPERIMENTS
+from repro.lossmodel import BernoulliProcess, GilbertProcess
+from repro.probing import ProberConfig, ProbingSimulator
+
+
+def test_accuracy_ablation_table(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["ablations"], scale="tiny", seed=0)
+    assert len(result.table) >= 8
+
+
+@pytest.mark.parametrize("fidelity", ["packet", "flow"])
+def test_simulator_fidelity(benchmark, bench_tree, fidelity):
+    prepared, _, _ = bench_tree
+    config = ProberConfig(probes_per_snapshot=400, fidelity=fidelity)
+    simulator = ProbingSimulator(
+        prepared.paths,
+        prepared.topology.network.num_links,
+        config=config,
+    )
+    snapshot = benchmark(simulator.run_snapshot, seed=3)
+    assert snapshot.num_paths == prepared.routing.num_paths
+
+
+@pytest.mark.parametrize(
+    "process", [GilbertProcess(), BernoulliProcess()], ids=["gilbert", "bernoulli"]
+)
+def test_loss_process_speed(benchmark, process):
+    rates = np.full(300, 0.05)
+    states = benchmark(process.sample_states, rates, 500, 42)
+    assert states.shape == (300, 500)
+
+
+@pytest.mark.parametrize("drop", [True, False], ids=["drop-neg", "keep-neg"])
+def test_negative_covariance_handling(benchmark, bench_tree, drop):
+    prepared, _, campaign = bench_tree
+    training, _ = campaign.split_training_target()
+    estimate = benchmark(
+        estimate_link_variances, training, drop_negative=drop
+    )
+    assert np.isfinite(estimate.variances).all()

@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the core kernels (Section 6.4 analogue).
+
+These time the stages the paper discusses: building the augmented matrix
+(once per network), phase-1 variance learning, phase-2 reduction and the
+reduced solve.  pytest-benchmark's calibration applies (they are fast).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.augmented import intersecting_pairs
+from repro.core.lia import LossInferenceAlgorithm
+from repro.core.reduction import reduce_to_full_rank, solve_reduced_system
+from repro.core.variance import estimate_link_variances
+
+
+def test_build_intersecting_pairs(benchmark, bench_tree):
+    prepared, _, _ = bench_tree
+    pairs = benchmark(intersecting_pairs, prepared.routing.matrix)
+    assert pairs.num_links == prepared.routing.num_links
+
+
+@pytest.mark.parametrize("method", ["wls", "lsmr", "normal"])
+def test_variance_learning(benchmark, bench_tree, method):
+    prepared, _, campaign = bench_tree
+    training, _ = campaign.split_training_target()
+    pairs = intersecting_pairs(prepared.routing.matrix)
+    estimate = benchmark(
+        estimate_link_variances, training, method=method, pairs=pairs
+    )
+    assert estimate.num_links == prepared.routing.num_links
+
+
+@pytest.mark.parametrize("strategy", ["threshold", "gap", "paper", "greedy"])
+def test_reduction_strategies(benchmark, bench_tree, strategy):
+    prepared, _, campaign = bench_tree
+    training, _ = campaign.split_training_target()
+    estimate = estimate_link_variances(training)
+    kwargs = {}
+    if strategy == "threshold":
+        kwargs["variance_cutoff"] = 16 * 0.002 / 400
+    result = benchmark(
+        reduce_to_full_rank,
+        prepared.routing.matrix,
+        estimate.variances,
+        strategy,
+        **kwargs,
+    )
+    sub = prepared.routing.to_dense()[:, result.kept_columns]
+    if result.num_kept:
+        assert np.linalg.matrix_rank(sub) == result.num_kept
+
+
+def test_reduced_solve(benchmark, bench_tree):
+    prepared, _, campaign = bench_tree
+    training, target = campaign.split_training_target()
+    estimate = estimate_link_variances(training)
+    reduction = reduce_to_full_rank(
+        prepared.routing.matrix,
+        estimate.variances,
+        "threshold",
+        variance_cutoff=16 * 0.002 / 400,
+    )
+    y = target.path_log_rates()
+    x = benchmark(
+        solve_reduced_system, prepared.routing.matrix, y, reduction
+    )
+    assert (x <= 0).all()
+
+
+def test_per_snapshot_inference(benchmark, bench_tree):
+    """The paper's headline: after A is built, inference is sub-second."""
+    prepared, _, campaign = bench_tree
+    training, target = campaign.split_training_target()
+    lia = LossInferenceAlgorithm(prepared.routing)
+    estimate = lia.learn_variances(training)  # warm: A cached
+    result = benchmark(lia.infer, target, estimate)
+    assert result.num_links == prepared.routing.num_links

@@ -1,0 +1,91 @@
+"""One benchmark per paper table/figure: regenerate it, time it.
+
+Each benchmark calls the corresponding experiment runner at tiny scale
+(the harness itself already averages over repetitions) and asserts the
+qualitative shape the paper reports, so `pytest benchmarks/
+--benchmark-only` both times and *checks* every artefact:
+
+=========  ======================================================
+fig3       variance monotone in mean loss (Assumption S.3)
+fig5       LIA beats SCFS on trees, improves with m
+fig6       error CDFs concentrated near zero
+fig7       congested links never outnumber R* columns
+fig8       graceful degradation in p; mild in S
+fig9       cross-validation consistency high
+table2     DR high / FPR low across the six mesh topologies
+table3     congested links lean inter-AS under boosted peering
+duration   congestion runs are short
+timing     A built once; per-snapshot inference fast
+=========  ======================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig3_mean_variance(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["fig3"], scale="tiny", seed=0)
+    assert result.data["spearman"] > 0.5
+
+
+def test_fig5_tree_accuracy(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["fig5"], scale="tiny", seed=0)
+    best_m = max(result.data["grid"])
+    assert np.mean(result.data["lia_dr"][best_m]) >= np.mean(
+        result.data["scfs_dr"]
+    )
+    assert np.mean(result.data["lia_fpr"][best_m]) <= np.mean(
+        result.data["scfs_fpr"]
+    )
+
+
+def test_fig6_error_cdfs(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["fig6"], scale="tiny", seed=0)
+    assert result.data["abs_cdf"].at(0.05) > 0.9
+
+
+def test_fig7_rank_ratio(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["fig7"], scale="tiny", seed=0)
+    ratios = [r for entry in result.data.values() for r in entry["ratios"]]
+    assert np.mean(ratios) < 1.2
+
+
+def test_fig8_sweeps(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["fig8"], scale="tiny", seed=0)
+    p_sweep = result.data["p_sweep"]
+    assert all(np.mean(v["dr"]) > 0.5 for v in p_sweep.values())
+
+
+def test_fig9_cross_validation(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["fig9"], scale="tiny", seed=0)
+    best = max(result.data["rates"])
+    assert np.mean(result.data["rates"][best]) > 0.7
+
+
+def test_table2_mesh_accuracy(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["table2"], scale="tiny", seed=0)
+    for kind, entry in result.data.items():
+        assert np.mean(entry["dr"]) > 0.5, kind
+
+
+def test_table3_as_location(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["table3"], scale="tiny", seed=0)
+    fractions = result.data["inter_fractions"]
+    observed = [np.mean(v) for v in fractions.values() if v]
+    assert observed, "no congested links located at any threshold"
+
+
+def test_duration(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["duration"], scale="tiny", seed=0)
+    lengths = result.data["inferred_lengths"]
+    if lengths:
+        assert np.mean(np.asarray(lengths) <= 2) > 0.5
+
+
+def test_timing(benchmark):
+    result = run_once(benchmark, EXPERIMENTS["timing"], scale="tiny", seed=0)
+    assert result.data["infer"] < 5.0  # per-snapshot inference stays fast

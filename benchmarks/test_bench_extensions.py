@@ -1,0 +1,55 @@
+"""Benchmarks of the extension subsystems (delay tomography, monitor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.delay import DelayInferenceAlgorithm, DelayProbingSimulator
+from repro.monitor import OnlineLossMonitor
+from repro.probing import ProberConfig, ProbingSimulator
+
+
+@pytest.fixture(scope="module")
+def delay_campaign(bench_tree):
+    prepared, _, _ = bench_tree
+    simulator = DelayProbingSimulator(
+        prepared.paths, prepared.topology.network.num_links, seed=2
+    )
+    campaign = simulator.run_campaign(21, prepared.routing, seed=3)
+    return prepared, campaign
+
+
+def test_delay_variance_learning(benchmark, delay_campaign):
+    prepared, campaign = delay_campaign
+    training, _ = campaign.split_training_target()
+    algorithm = DelayInferenceAlgorithm(prepared.routing)
+    algorithm.pairs  # warm the cache, as a service would
+    estimate = benchmark(algorithm.learn_variances, training)
+    assert estimate.num_links == prepared.routing.num_links
+
+
+def test_delay_inference(benchmark, delay_campaign):
+    prepared, campaign = delay_campaign
+    training, target = campaign.split_training_target()
+    algorithm = DelayInferenceAlgorithm(prepared.routing)
+    estimate = algorithm.learn_variances(training)
+    result = benchmark(algorithm.infer, target, estimate)
+    assert result.delay_deviations.shape == (prepared.routing.num_links,)
+
+
+def test_monitor_steady_state_throughput(benchmark, bench_tree):
+    """Per-snapshot cost of a warm monitor (screen + localise)."""
+    prepared, simulator, campaign = bench_tree
+    monitor = OnlineLossMonitor(
+        prepared.routing, window=10, refresh_interval=5, localize_always=True
+    )
+    for snapshot in campaign.snapshots[:15]:
+        monitor.observe(snapshot)
+    remaining = iter(campaign.snapshots[15:] * 50)
+
+    def feed_one():
+        return monitor.observe(next(remaining))
+
+    report = benchmark.pedantic(feed_one, rounds=20, iterations=1)
+    assert report.time_index > 0

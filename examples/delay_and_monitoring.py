@@ -1,0 +1,105 @@
+"""The paper's two proposed extensions, running: delay tomography and
+online anomaly detection (Conclusion section).
+
+Part 1 — delay tomography: link delay *variances* are identifiable from
+end-to-end delay covariances by the same Theorem-1 argument (delays add
+over a path); removing the low-variance links and solving the centered
+reduced system recovers each congested link's per-snapshot delay
+deviation.
+
+Part 2 — online monitoring: LIA wrapped as a streaming service with a
+rolling training window, cheap path-level screening, and per-link
+congestion onset/cleared events with durations.
+
+Run:  python examples/delay_and_monitoring.py
+"""
+
+import numpy as np
+
+from repro import (
+    LLRD1,
+    ProberConfig,
+    ProbingSimulator,
+    RoutingMatrix,
+    build_paths,
+    random_tree,
+)
+from repro.delay import DelayInferenceAlgorithm, DelayProbingSimulator
+from repro.monitor import OnlineLossMonitor
+
+
+def delay_tomography_demo() -> None:
+    print("=== Part 1: delay tomography ===")
+    topo = random_tree(num_nodes=200, seed=13)
+    paths = build_paths(topo.network, topo.beacons, topo.destinations)
+    routing = RoutingMatrix.from_paths(paths)
+
+    simulator = DelayProbingSimulator(
+        paths, topo.network.num_links, congestion_probability=0.08, seed=14
+    )
+    campaign = simulator.run_campaign(41, routing, seed=15)
+    training, target = campaign.split_training_target()
+
+    algorithm = DelayInferenceAlgorithm(routing)
+    estimate = algorithm.learn_variances(training)
+    result = algorithm.infer(target, estimate)
+
+    queueing_cols = routing.aggregate_any(simulator.congested)
+    print(f"links with queueing: {int(queueing_cols.sum())}; "
+          f"kept by variance cut: {len(result.kept_columns)}")
+
+    link_training = np.vstack(
+        [s.virtual_link_delays(routing) for s in training.snapshots]
+    )
+    true_dev = target.virtual_link_delays(routing) - link_training.mean(axis=0)
+    print("link | learned var (ms^2) | true deviation | inferred deviation")
+    for column in result.kept_columns[:8]:
+        print(f"  {column:>4} | {estimate.variances[column]:>14.1f} | "
+              f"{true_dev[column]:>+11.3f} ms | "
+              f"{result.delay_deviations[column]:>+11.3f} ms")
+
+
+def monitoring_demo() -> None:
+    print("\n=== Part 2: online anomaly detection ===")
+    topo = random_tree(num_nodes=200, seed=23)
+    paths = build_paths(topo.network, topo.beacons, topo.destinations)
+    routing = RoutingMatrix.from_paths(paths)
+
+    config = ProberConfig(probes_per_snapshot=600, congestion_probability=0.06)
+    simulator = ProbingSimulator(
+        paths, topo.network.num_links, model=LLRD1, config=config
+    )
+
+    monitor = OnlineLossMonitor(
+        routing, window=12, refresh_interval=4, localize_always=True
+    )
+
+    # Phase A: a steady congested regime warms the window up.
+    steady = simulator.run_campaign(16, routing, seed=24, truth_mode="fixed")
+    for snapshot in steady.snapshots:
+        report = monitor.observe(snapshot)
+        for event in report.events:
+            print(f"  {event}")
+
+    print(f"currently congested links: {monitor.currently_congested()}")
+
+    # Phase B: the network heals; the monitor emits 'cleared' events.
+    from repro.lossmodel import SnapshotGroundTruth
+
+    quiet = SnapshotGroundTruth(
+        congested=np.zeros(topo.network.num_links, dtype=bool),
+        loss_rates=np.zeros(topo.network.num_links),
+    )
+    print("network heals...")
+    for seed in range(3):
+        report = monitor.observe(
+            simulator.run_snapshot(seed=500 + seed, truth=quiet)
+        )
+        for event in report.events:
+            print(f"  {event}")
+    print(f"currently congested links: {monitor.currently_congested()}")
+
+
+if __name__ == "__main__":
+    delay_tomography_demo()
+    monitoring_demo()

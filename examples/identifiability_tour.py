@@ -1,0 +1,111 @@
+"""A tour of the paper's identifiability theory (Sections 2 and 4).
+
+Walks through:
+
+1. Figure 1 — first-order moments cannot identify link loss rates: two
+   different assignments produce identical path measurements;
+2. the augmented matrix A of Definition 1 for that example (printed in
+   the paper) and why its full column rank rescues the *variances*;
+3. Figure 2's two-beacon system (6 paths, 8 links, rank 5);
+4. Theorem 1 checked empirically across every topology generator;
+5. what breaks when Assumption T.2 (no route fluttering) fails.
+
+Run:  python examples/identifiability_tour.py
+"""
+
+import numpy as np
+
+from repro import RoutingMatrix, audit_identifiability, build_paths
+from repro.core.augmented import augmented_matrix
+from repro.topology import find_fluttering_pairs
+from repro.topology.examples import (
+    figure1_paths,
+    figure1_rate_ambiguity,
+    figure2_paths,
+)
+from repro.topology.generators import (
+    barabasi_albert,
+    dimes_like,
+    hierarchical_bottom_up,
+    hierarchical_top_down,
+    planetlab_like,
+    random_tree,
+    waxman,
+)
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    section("1. Figure 1: the ambiguity of first-order moments")
+    net, paths = figure1_paths()
+    routing = RoutingMatrix.from_paths(paths)
+    print("routing matrix R (3 paths x 5 links):")
+    print(routing.matrix)
+    a, b = figure1_rate_ambiguity()
+    R = routing.to_dense()
+    products_a = np.exp(R @ routing.aggregate_log_rates(np.log(a)))
+    products_b = np.exp(R @ routing.aggregate_log_rates(np.log(b)))
+    print(f"assignment A (loss on root):   path rates {np.round(products_a, 3)}")
+    print(f"assignment B (loss downstream): path rates {np.round(products_b, 3)}")
+    print("-> identical measurements, different link rates: unidentifiable.")
+
+    section("2. The augmented matrix A (Definition 1)")
+    A = augmented_matrix(routing.matrix)
+    print("rows R_i (x) R_j for i <= j:")
+    print(A.astype(int))
+    print(f"rank(R) = {routing.rank()} < 5 columns, "
+          f"but rank(A) = {np.linalg.matrix_rank(A)} = 5:")
+    print("-> the link VARIANCES are identifiable (Lemma 2 + Lemma 3).")
+
+    section("3. Figure 2: the multi-beacon system")
+    _, paths2 = figure2_paths()
+    routing2 = RoutingMatrix.from_paths(paths2)
+    report = audit_identifiability(routing2)
+    print(report.summary())
+
+    section("4. Theorem 1 across every generator")
+    generators = [
+        ("tree", lambda: random_tree(num_nodes=150, seed=1)),
+        ("waxman", lambda: waxman(num_nodes=120, num_end_hosts=12, seed=1)),
+        ("barabasi-albert",
+         lambda: barabasi_albert(num_nodes=120, num_end_hosts=12, seed=1)),
+        ("hierarchical-td",
+         lambda: hierarchical_top_down(num_ases=6, routers_per_as=15,
+                                       num_end_hosts=12, seed=1)),
+        ("hierarchical-bu",
+         lambda: hierarchical_bottom_up(num_nodes=120, num_end_hosts=12, seed=1)),
+        ("planetlab", lambda: planetlab_like(num_sites=8, seed=1)),
+        ("dimes", lambda: dimes_like(num_ases=25, num_hosts=12, seed=1)),
+    ]
+    for name, factory in generators:
+        topo = factory()
+        topo_paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        topo_routing = RoutingMatrix.from_paths(topo_paths)
+        report = audit_identifiability(topo_routing, topo_paths)
+        print(f"  {name:<16} rank(R)={report.routing_rank:>4}/{report.num_links:<4} "
+              f"rank(A)={report.augmented_rank:>4}/{report.num_links:<4} "
+              f"means: {str(report.means_identifiable):<5} "
+              f"variances: {report.variances_identifiable}")
+
+    section("5. When T.2 fails")
+    from repro.topology.graph import Network, Path
+
+    flutter_net = Network()
+    e_a = flutter_net.add_link(0, 1)
+    e_b1 = flutter_net.add_link(1, 2)
+    e_b2 = flutter_net.add_link(1, 3)
+    e_c1 = flutter_net.add_link(2, 4)
+    e_c2 = flutter_net.add_link(3, 4)
+    e_d = flutter_net.add_link(4, 5)
+    p1 = Path(index=0, source=0, dest=5, links=(e_a, e_b1, e_c1, e_d))
+    p2 = Path(index=1, source=0, dest=5, links=(e_a, e_b2, e_c2, e_d))
+    print(f"fluttering pairs detected: {find_fluttering_pairs([p1, p2])}")
+    print("-> the library removes one path of each fluttering pair before "
+          "inference, as Section 3.1 prescribes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""A full Internet-style measurement campaign (the Section 7 pipeline).
+
+End to end, using every substrate the paper's PlanetLab deployment
+needed:
+
+1. a PlanetLab-like topology (campus sites behind a research backbone),
+   with per-AS addressing and a synthetic BGP table;
+2. topology *measurement* by simulated traceroute — some routers stay
+   silent, some expose multiple interfaces, sr-ally merges them
+   imperfectly — so LIA runs on an erroneous measured topology;
+3. a probe schedule honouring the paper's 100 KB/s per-beacon cap;
+4. churning congestion (per-link propensities: trouble-prone links
+   congest repeatedly, Section 7.2.2 style);
+5. LIA inference + the paper's indirect validation: inference/validation
+   path split and the epsilon = 0.005 consistency test;
+6. Table-3-style AS location of the inferred congested links.
+
+Run:  python examples/planetlab_campaign.py
+"""
+
+import numpy as np
+
+from repro import (
+    LossInferenceAlgorithm,
+    ProberConfig,
+    ProbingSimulator,
+    RoutingMatrix,
+    build_paths,
+    planetlab_like,
+)
+from repro.lossmodel import INTERNET
+from repro.metrics import validate_against_paths
+from repro.netsim import AsMapper, classify_congested_columns, measure_topology
+from repro.probing import (
+    MeasurementCampaign,
+    ProbeScheduler,
+    restrict_campaign,
+    split_paths,
+)
+
+M_TRAINING = 40
+
+
+def main() -> None:
+    # -- 1. the real network (unknown to the measurement system) ----------
+    topo = planetlab_like(num_sites=24, hosts_per_site=2, seed=3)
+    true_paths = build_paths(topo.network, topo.beacons, topo.destinations)
+    print(f"true network: {topo.summary()}")
+
+    # -- 2. measured topology via traceroute + sr-ally --------------------
+    measured = measure_topology(
+        topo.network, true_paths, end_hosts=topo.end_hosts, recall=0.85, seed=5
+    )
+    print(measured.summary())
+    routing = RoutingMatrix.from_paths(measured.paths)
+    print(f"measured routing matrix: {routing.num_paths} paths x "
+          f"{routing.num_links} links")
+
+    # -- 3. probe scheduling under the per-beacon rate cap ----------------
+    scheduler = ProbeScheduler()  # 40-byte probes, 10 ms apart, 100 KB/s cap
+    schedule = scheduler.schedule_round(true_paths, seed=7)
+    print(f"one measurement round takes {schedule.round_duration_s:.0f}s "
+          f"({scheduler.max_parallel_paths} parallel paths per beacon)")
+
+    # -- 4. the campaign: churning congestion over the TRUE network -------
+    config = ProberConfig(
+        probes_per_snapshot=1000,
+        congestion_probability=0.08,
+        truth_mode="propensity",
+        propensity_range=(0.1, 0.7),
+    )
+    simulator = ProbingSimulator(
+        true_paths, topo.network.num_links, model=INTERNET, config=config
+    )
+    true_campaign = simulator.run_campaign(
+        M_TRAINING + 1, RoutingMatrix.from_paths(true_paths), seed=9
+    )
+    # The collector interprets the same measurements over the measured topology.
+    campaign = MeasurementCampaign(
+        routing=routing, snapshots=true_campaign.snapshots
+    )
+
+    # -- 5. inference + indirect validation (Section 7.2) ------------------
+    split = split_paths(len(measured.paths), seed=11)
+    inference_campaign, _, inference_routing = restrict_campaign(
+        campaign, measured.paths, split.inference_rows
+    )
+    lia = LossInferenceAlgorithm(inference_routing)
+    result = lia.run(inference_campaign)
+
+    target = campaign[-1]
+    validation_paths = [measured.paths[r] for r in split.validation_rows]
+    consistency = validate_against_paths(
+        result,
+        inference_routing,
+        validation_paths,
+        target.path_transmission[list(split.validation_rows)],
+    )
+    print(f"\ninference half: {inference_routing.num_paths} paths; "
+          f"validation half: {len(validation_paths)} paths")
+    print(f"consistent validation paths (eps=0.005): "
+          f"{100 * consistency.consistency_rate:.1f}%")
+
+    # -- 6. where are the congested links? (Table 3 pipeline) --------------
+    mapper, plan = AsMapper.from_topology(topo)
+    full_result = LossInferenceAlgorithm(routing).run(campaign)
+    for threshold in (0.04, 0.02, 0.01):
+        columns = np.flatnonzero(full_result.loss_rates > threshold)
+        if len(columns) == 0:
+            print(f"t_l={threshold}: no congested links inferred")
+            continue
+        # Map measured columns back to true physical links for AS lookup.
+        true_links = set()
+        for column in columns:
+            for member in routing.virtual_links[column].members:
+                true_links.add(measured.true_link_of_measured[member.index])
+        true_routing = RoutingMatrix.from_paths(true_paths)
+        true_columns = sorted(
+            {
+                true_routing.column_of_physical(t)
+                for t in true_links
+                if true_routing.column_of_physical(t) is not None
+            }
+        )
+        breakdown = classify_congested_columns(
+            true_columns, true_routing, mapper, plan
+        )
+        print(f"t_l={threshold}: {breakdown.total} congested links, "
+              f"{100 * breakdown.inter_fraction:.0f}% inter-AS / "
+              f"{100 * breakdown.intra_fraction:.0f}% intra-AS")
+
+
+if __name__ == "__main__":
+    main()

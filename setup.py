@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` works through this legacy path;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

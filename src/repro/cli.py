@@ -1,0 +1,221 @@
+"""Command-line interface: audit, simulate, infer.
+
+Three verbs covering the operational loop without writing Python:
+
+``audit``
+    generate (or size up) a monitoring layout and print its
+    identifiability report — rank(R), rank(A), fluttering pairs —
+    before deploying probes;
+``simulate``
+    run a probing campaign over a generated topology and write it as a
+    JSON campaign document (the same format external measurements use);
+``infer``
+    run LIA on a campaign document and print the congested links with
+    their inferred loss rates.
+
+Examples::
+
+    python -m repro audit --topology tree --size 300 --seed 7
+    python -m repro simulate --topology planetlab --snapshots 31 \
+        --out campaign.json
+    python -m repro infer campaign.json --threshold 0.002
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+TOPOLOGY_CHOICES = (
+    "tree",
+    "waxman",
+    "barabasi-albert",
+    "hierarchical-td",
+    "hierarchical-bu",
+    "planetlab",
+    "dimes",
+)
+
+
+def _build_topology(kind: str, size: int, hosts: int, seed: Optional[int]):
+    from repro.topology.generators import (
+        barabasi_albert,
+        dimes_like,
+        hierarchical_bottom_up,
+        hierarchical_top_down,
+        planetlab_like,
+        random_tree,
+        waxman,
+    )
+
+    if kind == "tree":
+        return random_tree(num_nodes=size, seed=seed)
+    if kind == "waxman":
+        return waxman(num_nodes=size, num_end_hosts=hosts, seed=seed)
+    if kind == "barabasi-albert":
+        return barabasi_albert(num_nodes=size, num_end_hosts=hosts, seed=seed)
+    if kind == "hierarchical-td":
+        return hierarchical_top_down(
+            num_ases=max(2, size // 50),
+            routers_per_as=min(50, max(2, size // max(2, size // 50))),
+            num_end_hosts=hosts,
+            seed=seed,
+        )
+    if kind == "hierarchical-bu":
+        return hierarchical_bottom_up(num_nodes=size, num_end_hosts=hosts, seed=seed)
+    if kind == "planetlab":
+        return planetlab_like(num_sites=max(2, hosts // 2), seed=seed)
+    if kind == "dimes":
+        return dimes_like(num_ases=max(5, size // 12), num_hosts=hosts, seed=seed)
+    raise ValueError(f"unknown topology {kind!r}")
+
+
+def _prepare(kind: str, size: int, hosts: int, seed: Optional[int]):
+    from repro.topology import (
+        RoutingMatrix,
+        build_paths,
+        find_fluttering_pairs,
+        remove_fluttering_paths,
+    )
+
+    topology = _build_topology(kind, size, hosts, seed)
+    paths = build_paths(topology.network, topology.beacons, topology.destinations)
+    if find_fluttering_pairs(paths):
+        paths, _ = remove_fluttering_paths(paths)
+    return topology, paths, RoutingMatrix.from_paths(paths)
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.identifiability import audit_identifiability
+
+    topology, paths, routing = _prepare(
+        args.topology, args.size, args.hosts, args.seed
+    )
+    print(topology.summary())
+    report = audit_identifiability(routing, paths)
+    print(report.summary())
+    return 0 if report.variances_identifiable else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.io import CampaignDocument, save_campaign
+    from repro.lossmodel import INTERNET, LLRD1, LLRD2
+    from repro.probing import ProberConfig, ProbingSimulator
+
+    models = {"llrd1": LLRD1, "llrd2": LLRD2, "internet": INTERNET}
+    topology, paths, routing = _prepare(
+        args.topology, args.size, args.hosts, args.seed
+    )
+    config = ProberConfig(
+        probes_per_snapshot=args.probes,
+        congestion_probability=args.congestion,
+        truth_mode=args.truth_mode,
+    )
+    simulator = ProbingSimulator(
+        paths,
+        topology.network.num_links,
+        model=models[args.model],
+        config=config,
+    )
+    campaign = simulator.run_campaign(args.snapshots, routing, seed=args.seed)
+    document = CampaignDocument(
+        network=topology.network,
+        beacons=topology.beacons,
+        destinations=topology.destinations,
+        paths=paths,
+        snapshots=list(campaign.snapshots),
+    )
+    save_campaign(document, args.out)
+    print(
+        f"wrote {args.out}: {routing.num_paths} paths x "
+        f"{routing.num_links} links, {len(campaign)} snapshots"
+    )
+    return 0
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    from repro.core.lia import LossInferenceAlgorithm
+    from repro.io import load_campaign
+    from repro.utils.tables import TextTable
+
+    document = load_campaign(args.document)
+    routing = document.routing()
+    campaign = document.campaign()
+    if len(campaign) < 2:
+        print("document needs at least 2 snapshots", file=sys.stderr)
+        return 2
+    lia = LossInferenceAlgorithm(
+        routing, congestion_threshold=args.threshold
+    )
+    result = lia.run(campaign)
+    congested = np.flatnonzero(result.loss_rates > args.threshold)
+    print(
+        f"{routing.num_paths} paths x {routing.num_links} links; "
+        f"trained on {len(campaign) - 1} snapshots; "
+        f"{len(congested)} links above t_l={args.threshold}"
+    )
+    table = TextTable(["link column", "physical links", "inferred loss"])
+    for column in sorted(
+        congested, key=lambda c: -result.loss_rates[c]
+    )[: args.top]:
+        vlink = routing.virtual_links[int(column)]
+        table.add_row(
+            [
+                int(column),
+                ",".join(str(i) for i in vlink.member_indices()),
+                float(result.loss_rates[column]),
+            ]
+        )
+    if len(table):
+        print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Loss tomography from second-order flow statistics.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    audit = sub.add_parser("audit", help="identifiability report of a layout")
+    simulate = sub.add_parser("simulate", help="simulate and save a campaign")
+    for p in (audit, simulate):
+        p.add_argument("--topology", choices=TOPOLOGY_CHOICES, default="tree")
+        p.add_argument("--size", type=int, default=200, help="node count")
+        p.add_argument("--hosts", type=int, default=16, help="end hosts")
+        p.add_argument("--seed", type=int, default=0)
+    audit.set_defaults(func=cmd_audit)
+
+    simulate.add_argument("--snapshots", type=int, default=31)
+    simulate.add_argument("--probes", type=int, default=1000)
+    simulate.add_argument("--congestion", type=float, default=0.10)
+    simulate.add_argument(
+        "--model", choices=("llrd1", "llrd2", "internet"), default="llrd1"
+    )
+    simulate.add_argument(
+        "--truth-mode",
+        choices=("fixed", "redraw", "persistent", "propensity"),
+        default="fixed",
+    )
+    simulate.add_argument("--out", required=True)
+    simulate.set_defaults(func=cmd_simulate)
+
+    infer = sub.add_parser("infer", help="run LIA on a campaign document")
+    infer.add_argument("document")
+    infer.add_argument("--threshold", type=float, default=0.002)
+    infer.add_argument("--top", type=int, default=20, help="rows to print")
+    infer.set_defaults(func=cmd_infer)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Core algorithm: the augmented matrix, variance learning, and LIA."""
+
+from repro.core.augmented import (
+    AugmentedMatrixBuilder,
+    IntersectingPairs,
+    augmented_matrix,
+    augmented_rank,
+    has_identifiable_variances,
+    intersecting_pairs,
+    num_pair_rows,
+    pair_from_row_index,
+    pair_row_index,
+)
+from repro.core.identifiability import (
+    IdentifiabilityReport,
+    audit_identifiability,
+    verify_theorem1,
+)
+from repro.core.lia import LIAResult, LossInferenceAlgorithm
+from repro.core.reduction import (
+    ReductionResult,
+    reduce_to_full_rank,
+    solve_reduced_system,
+)
+from repro.core.variance import (
+    VarianceEstimate,
+    estimate_link_variances,
+    variance_recovery_error,
+)
+
+__all__ = [
+    "AugmentedMatrixBuilder",
+    "IdentifiabilityReport",
+    "IntersectingPairs",
+    "LIAResult",
+    "LossInferenceAlgorithm",
+    "ReductionResult",
+    "VarianceEstimate",
+    "audit_identifiability",
+    "augmented_matrix",
+    "augmented_rank",
+    "estimate_link_variances",
+    "has_identifiable_variances",
+    "intersecting_pairs",
+    "num_pair_rows",
+    "pair_from_row_index",
+    "pair_row_index",
+    "reduce_to_full_rank",
+    "solve_reduced_system",
+    "variance_recovery_error",
+    "verify_theorem1",
+]

@@ -1,0 +1,172 @@
+"""Dense linear-algebra kernels used by LIA.
+
+The paper solves its linear systems "using Householder reflection to
+compute an orthogonal-triangular factorization" (Golub & Van Loan).  We
+implement that QR least-squares path explicitly — it is the reference
+solver for both phases — plus the incremental Gram–Schmidt column
+selector used by the fast full-rank reduction strategy.  Everything is
+cross-checked against numpy/scipy in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def householder_qr(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Compact Householder QR: returns ``(Q, R)`` with ``Q`` m x n, ``R`` n x n.
+
+    Classic Golub & Van Loan algorithm 5.2.1, vectorised per reflection.
+    Requires ``m >= n``.
+    """
+    A = np.array(matrix, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValueError("matrix must be two-dimensional")
+    m, n = A.shape
+    if m < n:
+        raise ValueError(f"householder_qr requires m >= n, got {m} x {n}")
+    vs: List[np.ndarray] = []
+    for k in range(n):
+        x = A[k:, k].copy()
+        norm_x = np.linalg.norm(x)
+        if norm_x == 0.0:
+            # Degenerate column: no reflection needed.  A zero vector makes
+            # the rank-2 update a no-op in both application loops.
+            vs.append(np.zeros_like(x))
+            continue
+        v = x.copy()
+        v[0] += np.sign(x[0]) * norm_x if x[0] != 0 else norm_x
+        v /= np.linalg.norm(v)
+        vs.append(v)
+        A[k:, k:] -= 2.0 * np.outer(v, v @ A[k:, k:])
+    R = np.triu(A[:n, :])
+
+    # Accumulate thin Q by applying reflections to the identity block.
+    Q = np.zeros((m, n), dtype=np.float64)
+    Q[:n, :n] = np.eye(n)
+    for k in range(n - 1, -1, -1):
+        v = vs[k]
+        Q[k:, :] -= 2.0 * np.outer(v, v @ Q[k:, :])
+    return Q, R
+
+
+def back_substitution(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``U x = b`` for upper-triangular ``U`` (zero diag -> 0 entry).
+
+    Zero pivots get a zero solution component instead of raising: LIA's
+    phase-1 matrix is full rank by Theorem 1, but sampled systems can be
+    numerically deficient and a minimum-norm-flavoured fallback keeps the
+    estimator total.
+    """
+    U = np.asarray(upper, dtype=np.float64)
+    b = np.asarray(rhs, dtype=np.float64)
+    n = U.shape[0]
+    if U.shape != (n, n):
+        raise ValueError("upper must be square")
+    if b.shape[0] != n:
+        raise ValueError("rhs length mismatch")
+    x = np.zeros(n, dtype=np.float64)
+    scale = np.max(np.abs(U)) if n else 0.0
+    tol = max(scale, 1.0) * n * np.finfo(np.float64).eps
+    for k in range(n - 1, -1, -1):
+        residual = b[k] - U[k, k + 1 :] @ x[k + 1 :]
+        if abs(U[k, k]) <= tol:
+            x[k] = 0.0
+        else:
+            x[k] = residual / U[k, k]
+    return x
+
+
+def solve_least_squares_qr(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Least-squares solution of ``matrix @ x ~= rhs`` via Householder QR.
+
+    The paper's phase-1/phase-2 solver (O(n_p^2 n_c^2 - n_c^3 / 3) there;
+    same complexity class here).
+    """
+    A = np.asarray(matrix, dtype=np.float64)
+    b = np.asarray(rhs, dtype=np.float64)
+    if A.shape[0] != b.shape[0]:
+        raise ValueError("matrix and rhs row counts differ")
+    Q, R = householder_qr(A)
+    return back_substitution(R, Q.T @ b)
+
+
+def qr_column_rank(matrix: np.ndarray, rel_tol: float = 1e-9) -> int:
+    """Numerical column rank via incremental Gram–Schmidt.
+
+    Unpivoted QR is not rank revealing (a dependent column can still leave
+    a non-negligible diagonal entry further right), so we count columns
+    that enlarge the span instead — the same primitive the phase-2
+    reduction uses.
+    """
+    A = np.asarray(matrix, dtype=np.float64)
+    basis = IncrementalColumnBasis(dimension=A.shape[0], rel_tol=rel_tol)
+    for col in range(A.shape[1]):
+        basis.try_add(A[:, col])
+    return basis.rank
+
+
+@dataclass
+class IncrementalColumnBasis:
+    """Grow an orthonormal basis one column at a time (modified Gram–Schmidt).
+
+    Used by the greedy full-rank reduction: columns are offered in
+    decreasing variance order and accepted when linearly independent of
+    the columns accepted so far.
+    """
+
+    dimension: int
+    rel_tol: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self._basis: List[np.ndarray] = []
+
+    @property
+    def rank(self) -> int:
+        return len(self._basis)
+
+    def try_add(self, column: np.ndarray) -> bool:
+        """Add *column* if it enlarges the span; return whether it did."""
+        v = np.asarray(column, dtype=np.float64).copy()
+        if v.shape != (self.dimension,):
+            raise ValueError(
+                f"expected column of length {self.dimension}, got {v.shape}"
+            )
+        norm0 = np.linalg.norm(v)
+        if norm0 == 0.0:
+            return False
+        for b in self._basis:
+            v -= (b @ v) * b
+        # Second MGS pass for numerical robustness.
+        for b in self._basis:
+            v -= (b @ v) * b
+        norm1 = np.linalg.norm(v)
+        if norm1 <= self.rel_tol * norm0:
+            return False
+        self._basis.append(v / norm1)
+        return True
+
+
+def greedy_independent_columns(
+    matrix: np.ndarray,
+    priority: Sequence[int],
+    rel_tol: float = 1e-9,
+) -> List[int]:
+    """Maximal independent column subset scanned in *priority* order.
+
+    Returns the accepted column indices in scan order.  The result spans
+    the full column space of *matrix*: every rejected column is dependent
+    on accepted ones.
+    """
+    A = np.asarray(matrix, dtype=np.float64)
+    basis = IncrementalColumnBasis(dimension=A.shape[0], rel_tol=rel_tol)
+    kept: List[int] = []
+    for col in priority:
+        if basis.try_add(A[:, col]):
+            kept.append(int(col))
+    return kept

@@ -1,0 +1,27 @@
+"""Delay tomography — the paper's first proposed extension (Conclusion).
+
+Link delay *variances* are identifiable from end-to-end delay
+covariances by the same Theorem-1 argument (delays are additive over a
+path, so ``Y = R D`` is linear without any transform); sorting links by
+delay variance and solving the reduced centered system recovers the
+per-snapshot delay deviations of the congested links.
+"""
+
+from repro.delay.inference import (
+    DelayInferenceAlgorithm,
+    DelayInferenceResult,
+    DelayVarianceEstimate,
+)
+from repro.delay.model import DEFAULT_DELAY_MODEL, DelayModel
+from repro.delay.prober import DelayCampaign, DelayProbingSimulator, DelaySnapshot
+
+__all__ = [
+    "DEFAULT_DELAY_MODEL",
+    "DelayCampaign",
+    "DelayInferenceAlgorithm",
+    "DelayInferenceResult",
+    "DelayModel",
+    "DelayProbingSimulator",
+    "DelaySnapshot",
+    "DelayVarianceEstimate",
+]

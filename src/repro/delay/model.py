@@ -1,0 +1,101 @@
+"""Link delay model for the delay-tomography extension.
+
+The paper's first proposed extension (Conclusion): "congested links
+usually have high delay variations... take multiple snapshots to learn
+the delay variances... remove links with small congestion delays and
+then solve for the delays of the remaining congested links."
+
+Model: every link has a fixed *base* (propagation + transmission) delay;
+a congested link adds a per-snapshot queueing component drawn from a
+Gamma distribution (bursty queues: mean ``queue_mean``, shape < 1 gives
+the heavy tail measured on real congested links).  Within a snapshot the
+per-probe jitter averages out over S probes, leaving a small residual
+measurement noise on the snapshot mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Per-link delay distribution parameters (milliseconds)."""
+
+    base_range: "tuple[float, float]" = (0.1, 10.0)
+    queue_mean_range: "tuple[float, float]" = (5.0, 50.0)
+    queue_shape: float = 0.8
+    #: Std-dev of per-probe jitter; the snapshot mean sees it / sqrt(S).
+    jitter_std: float = 1.0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.base_range
+        if not 0 <= lo <= hi:
+            raise ValueError(f"bad base_range {self.base_range}")
+        qlo, qhi = self.queue_mean_range
+        if not 0 < qlo <= qhi:
+            raise ValueError(f"bad queue_mean_range {self.queue_mean_range}")
+        if self.queue_shape <= 0:
+            raise ValueError("queue_shape must be positive")
+        if self.jitter_std < 0:
+            raise ValueError("jitter_std must be non-negative")
+
+    def draw_base_delays(self, num_links: int, seed: SeedLike = None) -> np.ndarray:
+        rng = as_rng(seed)
+        return rng.uniform(self.base_range[0], self.base_range[1], num_links)
+
+    def draw_queue_means(
+        self, congested: np.ndarray, seed: SeedLike = None
+    ) -> np.ndarray:
+        """Mean queueing delay per link; zero on un-congested links."""
+        rng = as_rng(seed)
+        congested = np.asarray(congested, dtype=bool)
+        means = np.zeros(congested.shape[0], dtype=np.float64)
+        count = int(congested.sum())
+        if count:
+            means[congested] = rng.uniform(
+                self.queue_mean_range[0], self.queue_mean_range[1], count
+            )
+        return means
+
+    def sample_snapshot_delays(
+        self,
+        base_delays: np.ndarray,
+        queue_means: np.ndarray,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """One snapshot's realized per-link mean delays.
+
+        Congested links add ``Gamma(shape, mean/shape)`` queueing delay —
+        redrawn each snapshot, producing exactly the across-snapshot
+        variance the inference feeds on.
+        """
+        rng = as_rng(seed)
+        base = np.asarray(base_delays, dtype=np.float64)
+        queue = np.asarray(queue_means, dtype=np.float64)
+        if base.shape != queue.shape:
+            raise ValueError("base and queue arrays must align")
+        delays = base.copy()
+        active = queue > 0
+        if active.any():
+            scale = queue[active] / self.queue_shape
+            delays[active] += rng.gamma(
+                self.queue_shape, scale, size=int(active.sum())
+            )
+        return delays
+
+    def theoretical_variance(self, queue_means: np.ndarray) -> np.ndarray:
+        """Across-snapshot delay variance implied by the queue means.
+
+        Var of Gamma(shape, mean/shape) = mean^2 / shape; the fixed base
+        delay contributes nothing.
+        """
+        queue = np.asarray(queue_means, dtype=np.float64)
+        return queue**2 / self.queue_shape
+
+
+DEFAULT_DELAY_MODEL = DelayModel()

@@ -1,0 +1,50 @@
+"""Command-line entry point for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments fig5
+    python -m repro.experiments table2 --scale paper --seed 7
+    python -m repro.experiments all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, SCALES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (table/figure number) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="small",
+        help="parameter preset: tiny (smoke), small (minutes), paper",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

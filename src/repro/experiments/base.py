@@ -1,0 +1,277 @@
+"""Shared machinery of the experiment harness.
+
+Every experiment module exposes ``run(scale="small", seed=0) ->
+ExperimentResult``.  ``scale="paper"`` uses the paper's parameters
+(1000-node topologies, m = 50, S = 1000, 10 repetitions); ``"small"``
+shrinks them so the whole suite regenerates in minutes on a laptop, and
+``"tiny"`` is for CI/benchmark smoke runs.  Scaling down changes absolute
+numbers, never the qualitative shape the experiments check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lia import LIAResult, LossInferenceAlgorithm
+from repro.lossmodel import LLRD1, GilbertProcess, LossRateModel
+from repro.lossmodel.processes import LossProcess
+from repro.metrics import (
+    AccuracyReport,
+    DetectionOutcome,
+    evaluate_location,
+)
+from repro.probing import MeasurementCampaign, ProberConfig, ProbingSimulator
+from repro.probing.snapshot import Snapshot
+from repro.topology import (
+    Path,
+    RoutingMatrix,
+    build_paths,
+    find_fluttering_pairs,
+    remove_fluttering_paths,
+)
+from repro.topology.generators import (
+    GeneratedTopology,
+    barabasi_albert,
+    dimes_like,
+    hierarchical_bottom_up,
+    hierarchical_top_down,
+    planetlab_like,
+    random_tree,
+    waxman,
+)
+from repro.utils.rng import derive_seed
+from repro.utils.tables import TextTable
+
+SCALES = ("tiny", "small", "paper")
+
+
+@dataclass(frozen=True)
+class ScaleParams:
+    """Experiment sizing for one scale preset."""
+
+    tree_nodes: int
+    mesh_nodes: int
+    num_end_hosts: int
+    snapshots: int          # the paper's m
+    probes: int             # the paper's S
+    repetitions: int
+
+    def sized(self, **overrides) -> "ScaleParams":
+        return replace(self, **overrides)
+
+
+SCALE_PRESETS: Dict[str, ScaleParams] = {
+    "tiny": ScaleParams(
+        tree_nodes=60, mesh_nodes=80, num_end_hosts=10,
+        snapshots=15, probes=300, repetitions=2,
+    ),
+    "small": ScaleParams(
+        tree_nodes=250, mesh_nodes=200, num_end_hosts=20,
+        snapshots=30, probes=600, repetitions=3,
+    ),
+    "paper": ScaleParams(
+        tree_nodes=1000, mesh_nodes=1000, num_end_hosts=60,
+        snapshots=50, probes=1000, repetitions=10,
+    ),
+}
+
+
+def scale_params(scale: str) -> ScaleParams:
+    if scale not in SCALE_PRESETS:
+        raise ValueError(f"unknown scale {scale!r}, want one of {SCALES}")
+    return SCALE_PRESETS[scale]
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output plus raw data of one experiment run."""
+
+    name: str
+    description: str
+    table: TextTable
+    data: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"== {self.name} ==", self.description, "", self.table.render()]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+# -- topology construction ------------------------------------------------------
+
+
+def make_topology(
+    kind: str, params: ScaleParams, seed: Optional[int]
+) -> GeneratedTopology:
+    """Build one of the paper's evaluation topologies at the given scale."""
+    if kind == "tree":
+        return random_tree(num_nodes=params.tree_nodes, seed=seed)
+    if kind == "waxman":
+        return waxman(
+            num_nodes=params.mesh_nodes,
+            num_end_hosts=params.num_end_hosts,
+            seed=seed,
+        )
+    if kind == "barabasi-albert":
+        return barabasi_albert(
+            num_nodes=params.mesh_nodes,
+            num_end_hosts=params.num_end_hosts,
+            seed=seed,
+        )
+    if kind == "hierarchical-td":
+        routers = max(2, params.mesh_nodes // 20)
+        return hierarchical_top_down(
+            num_ases=20,
+            routers_per_as=routers,
+            num_end_hosts=params.num_end_hosts,
+            seed=seed,
+        )
+    if kind == "hierarchical-bu":
+        return hierarchical_bottom_up(
+            num_nodes=params.mesh_nodes,
+            num_end_hosts=params.num_end_hosts,
+            seed=seed,
+        )
+    if kind == "planetlab":
+        return planetlab_like(
+            num_sites=max(4, params.num_end_hosts // 2),
+            hosts_per_site=2,
+            seed=seed,
+        )
+    if kind == "dimes":
+        return dimes_like(
+            num_ases=max(10, params.mesh_nodes // 12),
+            num_hosts=params.num_end_hosts,
+            seed=seed,
+        )
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+MESH_TOPOLOGY_KINDS = (
+    "barabasi-albert",
+    "waxman",
+    "hierarchical-td",
+    "hierarchical-bu",
+    "planetlab",
+    "dimes",
+)
+
+
+@dataclass
+class PreparedTopology:
+    """A topology with fluttering-free paths and its routing matrix."""
+
+    topology: GeneratedTopology
+    paths: List[Path]
+    routing: RoutingMatrix
+    num_removed_fluttering: int
+
+
+def prepare_topology(
+    kind: str, params: ScaleParams, seed: Optional[int]
+) -> PreparedTopology:
+    """Generate, route, enforce T.2 and reduce — the full Section 3 front end."""
+    topology = make_topology(kind, params, seed)
+    paths = build_paths(
+        topology.network, topology.beacons, topology.destinations
+    )
+    removed = 0
+    if find_fluttering_pairs(paths):
+        paths, dropped = remove_fluttering_paths(paths)
+        removed = len(dropped)
+    routing = RoutingMatrix.from_paths(paths)
+    return PreparedTopology(
+        topology=topology,
+        paths=paths,
+        routing=routing,
+        num_removed_fluttering=removed,
+    )
+
+
+# -- campaign + evaluation -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Metrics of one LIA inference trial."""
+
+    detection: DetectionOutcome
+    accuracy: AccuracyReport
+    result: LIAResult
+    target: Snapshot
+
+
+def run_lia_trial(
+    prepared: PreparedTopology,
+    seed: Optional[int],
+    congestion_probability: float = 0.10,
+    snapshots: int = 50,
+    probes: int = 1000,
+    model: LossRateModel = LLRD1,
+    process: Optional[LossProcess] = None,
+    truth_mode: str = "fixed",
+    variance_method: str = "wls",
+    reduction_strategy: str = "threshold",
+    fidelity: str = "packet",
+) -> TrialOutcome:
+    """One full LIA trial: simulate m+1 snapshots, learn, infer, score.
+
+    Accuracy is scored against the target snapshot's *realized* per-column
+    loss fractions (what LIA estimates); detection against the assigned
+    congestion marks, both per Section 6.
+    """
+    config = ProberConfig(
+        probes_per_snapshot=probes,
+        congestion_probability=congestion_probability,
+        truth_mode=truth_mode,
+        fidelity=fidelity,
+    )
+    simulator = ProbingSimulator(
+        prepared.paths,
+        prepared.topology.network.num_links,
+        model=model,
+        process=process,
+        config=config,
+    )
+    campaign = simulator.run_campaign(snapshots + 1, prepared.routing, seed=seed)
+    lia = LossInferenceAlgorithm(
+        prepared.routing,
+        variance_method=variance_method,
+        reduction_strategy=reduction_strategy,
+    )
+    result = lia.run(campaign)
+    target = campaign[-1]
+    detection = evaluate_location(
+        result.loss_rates,
+        target.virtual_congested(prepared.routing),
+        prepared.routing,
+        model.threshold,
+    )
+    accuracy = AccuracyReport.compare(
+        target.realized_virtual_loss_rates(prepared.routing), result.loss_rates
+    )
+    return TrialOutcome(
+        detection=detection, accuracy=accuracy, result=result, target=target
+    )
+
+
+def mean_and_ci(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and half-width of a normal 95 % confidence interval."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no values to average")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    half = 1.96 * arr.std(ddof=1) / np.sqrt(arr.size)
+    return float(arr.mean()), float(half)
+
+
+def repetition_seeds(seed: Optional[int], count: int) -> List[Optional[int]]:
+    """Independent derived seeds for experiment repetitions."""
+    return [derive_seed(seed, i) if seed is not None else None for i in range(count)]

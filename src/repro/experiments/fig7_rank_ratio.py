@@ -1,0 +1,91 @@
+"""Figure 7: congested links versus the columns retained in R*.
+
+For every topology the paper plots the ratio between the number of
+congested links (p * n_c) and the number of columns kept in the
+full-rank reduced matrix R*.  The ratio stays below 1 everywhere —
+meaning the reduction never has to sacrifice a congested link, which is
+why approximating the removed links' loss by zero is safe.
+
+We report the ratio per topology (tree plus the six meshes) and,
+as a stronger check, the count of congested links that were actually
+removed (should be ~0).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import zlib
+
+import numpy as np
+
+from repro.experiments.base import (
+    MESH_TOPOLOGY_KINDS,
+    ExperimentResult,
+    prepare_topology,
+    repetition_seeds,
+    run_lia_trial,
+    scale_params,
+)
+from repro.utils.rng import derive_seed
+from repro.utils.tables import TextTable
+
+
+def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+    params = scale_params(scale)
+    table = TextTable(
+        ["topology", "congested", "columns in R*", "ratio", "congested removed"]
+    )
+    data = {}
+
+    for kind in ("tree",) + MESH_TOPOLOGY_KINDS:
+        ratios: List[float] = []
+        congested_counts: List[int] = []
+        kept_counts: List[int] = []
+        removed_congested: List[int] = []
+        for rep_seed in repetition_seeds(seed, params.repetitions):
+            prepared = prepare_topology(
+                kind, params, derive_seed(rep_seed, zlib.crc32(kind.encode()))
+            )
+            trial = run_lia_trial(
+                prepared,
+                derive_seed(rep_seed, 1),
+                snapshots=params.snapshots,
+                probes=params.probes,
+            )
+            truth = trial.target.virtual_congested(prepared.routing)
+            kept = trial.result.reduction.kept_columns
+            num_congested = int(truth.sum())
+            num_kept = len(kept)
+            congested_counts.append(num_congested)
+            kept_counts.append(num_kept)
+            if num_kept:
+                ratios.append(num_congested / num_kept)
+            removed_congested.append(
+                int(truth[trial.result.reduction.removed_columns].sum())
+            )
+        table.add_row(
+            [
+                kind,
+                float(np.mean(congested_counts)),
+                float(np.mean(kept_counts)),
+                float(np.mean(ratios)),
+                float(np.mean(removed_congested)),
+            ]
+        )
+        data[kind] = {
+            "ratios": ratios,
+            "removed_congested": removed_congested,
+        }
+
+    result = ExperimentResult(
+        name="fig7",
+        description=(
+            "Ratio of congested links to columns kept in R* "
+            f"(p=10%, m={params.snapshots}); below 1 means no congested "
+            "link had to be removed"
+        ),
+        table=table,
+        data=data,
+    )
+    return result

@@ -1,0 +1,98 @@
+"""Figure 8: sensitivity of LIA to the congestion fraction p and to S.
+
+Panel (a): DR and FPR as the fraction of congested links p grows from
+5 % to 25 % (PlanetLab topology, m = 50, S = 1000).  Expected shape:
+accuracy degrades slowly as p grows (more congested links risk falling
+into linearly dependent families and more loss mass is misattributed).
+
+Panel (b): DR and FPR as the per-snapshot probe count S shrinks from
+1000 to 50 (p = 10 %).  Expected shape: mild degradation — the paper
+notes the impact of S "is less severe".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.base import (
+    ExperimentResult,
+    prepare_topology,
+    repetition_seeds,
+    run_lia_trial,
+    scale_params,
+)
+from repro.utils.rng import derive_seed
+from repro.utils.tables import TextTable
+
+P_GRID = {
+    "tiny": (0.05, 0.25),
+    "small": (0.05, 0.10, 0.25),
+    "paper": (0.05, 0.10, 0.15, 0.20, 0.25),
+}
+S_GRID = {
+    "tiny": (100, 300),
+    "small": (100, 400, 1000),
+    "paper": (50, 200, 400, 600, 800, 1000),
+}
+
+
+def _sweep(
+    variable: str,
+    values,
+    params,
+    seed: Optional[int],
+) -> "tuple[TextTable, Dict]":
+    table = TextTable([variable, "DR", "FPR"])
+    raw: Dict[float, Dict[str, List[float]]] = {}
+    for value in values:
+        drs: List[float] = []
+        fprs: List[float] = []
+        for rep_seed in repetition_seeds(seed, params.repetitions):
+            prepared = prepare_topology(
+                "planetlab", params, derive_seed(rep_seed, 0)
+            )
+            kwargs = dict(snapshots=params.snapshots, probes=params.probes)
+            if variable == "p":
+                kwargs["congestion_probability"] = value
+            else:
+                kwargs["probes"] = value
+            trial = run_lia_trial(prepared, derive_seed(rep_seed, 1), **kwargs)
+            drs.append(trial.detection.detection_rate)
+            fprs.append(trial.detection.false_positive_rate)
+        table.add_row([value, float(np.mean(drs)), float(np.mean(fprs))])
+        raw[value] = {"dr": drs, "fpr": fprs}
+    return table, raw
+
+
+def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+    params = scale_params(scale)
+    table_p, raw_p = _sweep("p", P_GRID[scale], params, derive_seed(seed, 10))
+    table_s, raw_s = _sweep("S", S_GRID[scale], params, derive_seed(seed, 20))
+
+    combined = TextTable(["panel", "value", "DR", "FPR"])
+    for value in P_GRID[scale]:
+        combined.add_row(
+            ["(a) p", value,
+             float(np.mean(raw_p[value]["dr"])),
+             float(np.mean(raw_p[value]["fpr"]))]
+        )
+    for value in S_GRID[scale]:
+        combined.add_row(
+            ["(b) S", value,
+             float(np.mean(raw_s[value]["dr"])),
+             float(np.mean(raw_s[value]["fpr"]))]
+        )
+
+    result = ExperimentResult(
+        name="fig8",
+        description=(
+            "LIA sensitivity on the PlanetLab-like topology "
+            f"(m={params.snapshots}; panel a: S={params.probes} varying p; "
+            "panel b: p=10% varying S)"
+        ),
+        table=combined,
+        data={"p_sweep": raw_p, "s_sweep": raw_s},
+    )
+    return result

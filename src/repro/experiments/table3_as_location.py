@@ -1,0 +1,124 @@
+"""Table 3: are congested links inter-AS or intra-AS?
+
+The paper maps the congested links LIA finds on PlanetLab to autonomous
+systems (via a RouteViews BGP table) and reports, for loss thresholds
+t_l in {0.04, 0.02, 0.01}, the split between inter-AS and intra-AS
+links: congested links lean inter-AS (53–58 %), more so for small t_l.
+
+Our reproduction drives the same pipeline over the AS-annotated
+PlanetLab-like topology with its synthetic BGP table: ground-truth
+congestion propensities are boosted on inter-AS (peering) links —
+the mechanism the measurement literature proposes for the paper's
+observation — LIA infers rates, and the inferred congested columns are
+classified through longest-prefix-match on their endpoint addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.lia import LossInferenceAlgorithm
+from repro.experiments.base import (
+    ExperimentResult,
+    prepare_topology,
+    repetition_seeds,
+    scale_params,
+)
+from repro.lossmodel import INTERNET
+from repro.netsim import AsMapper, classify_congested_columns
+from repro.probing import ProberConfig, ProbingSimulator
+from repro.utils.rng import SeedLike, as_rng, derive_seed
+from repro.utils.tables import TextTable
+
+THRESHOLDS = (0.04, 0.02, 0.01)
+#: Inter-AS links are this factor more likely to be congestion-prone.
+INTER_AS_BOOST = 3.0
+
+
+def _propensities_with_inter_as_boost(
+    prepared, base_fraction: float, seed: SeedLike
+) -> np.ndarray:
+    """Per-physical-link propensities, boosted on AS-boundary links."""
+    rng = as_rng(seed)
+    topology = prepared.topology
+    network = topology.network
+    inter = np.zeros(network.num_links, dtype=bool)
+    for link in network.links:
+        inter[link.index] = (
+            topology.as_of_node[link.tail] != topology.as_of_node[link.head]
+        )
+    trouble_probability = np.where(
+        inter,
+        min(1.0, base_fraction * INTER_AS_BOOST),
+        base_fraction,
+    )
+    trouble = rng.random(network.num_links) < trouble_probability
+    propensities = np.zeros(network.num_links, dtype=np.float64)
+    count = int(trouble.sum())
+    if count:
+        propensities[trouble] = rng.uniform(0.1, 0.7, size=count)
+    return propensities
+
+
+def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+    params = scale_params(scale)
+    counts: Dict[float, List[float]] = {t: [] for t in THRESHOLDS}
+
+    for rep_seed in repetition_seeds(seed, params.repetitions):
+        prepared = prepare_topology("planetlab", params, derive_seed(rep_seed, 0))
+        mapper, plan = AsMapper.from_topology(prepared.topology)
+        propensities = _propensities_with_inter_as_boost(
+            prepared, base_fraction=0.06, seed=derive_seed(rep_seed, 1)
+        )
+        config = ProberConfig(
+            probes_per_snapshot=params.probes,
+            truth_mode="propensity",
+        )
+        simulator = ProbingSimulator(
+            prepared.paths,
+            prepared.topology.network.num_links,
+            model=INTERNET,
+            config=config,
+        )
+        campaign = simulator.run_campaign(
+            params.snapshots + 1,
+            prepared.routing,
+            seed=derive_seed(rep_seed, 2),
+            propensities=propensities,
+        )
+        result = LossInferenceAlgorithm(prepared.routing).run(campaign)
+
+        for threshold in THRESHOLDS:
+            columns = np.flatnonzero(result.loss_rates > threshold)
+            if len(columns) == 0:
+                continue
+            breakdown = classify_congested_columns(
+                [int(c) for c in columns], prepared.routing, mapper, plan
+            )
+            counts[threshold].append(breakdown.inter_fraction)
+
+    table = TextTable(["t_l", "inter-AS (%)", "intra-AS (%)"], float_fmt="{:.1f}")
+    for threshold in THRESHOLDS:
+        if counts[threshold]:
+            inter = 100.0 * float(np.mean(counts[threshold]))
+        else:
+            inter = float("nan")
+        table.add_row([str(threshold), inter, 100.0 - inter])
+
+    result = ExperimentResult(
+        name="table3",
+        description=(
+            "Location of inferred congested links relative to AS "
+            f"boundaries (m={params.snapshots}, inter-AS propensity boost "
+            f"x{INTER_AS_BOOST})"
+        ),
+        table=table,
+        data={"inter_fractions": {t: list(v) for t, v in counts.items()}},
+    )
+    result.notes.append(
+        "ground truth boosts congestion propensity on AS-boundary links; "
+        "the pipeline (LPM over the synthetic BGP table) matches Section 7.2.2"
+    )
+    return result

@@ -1,0 +1,22 @@
+"""Baseline congestion-location algorithms LIA is compared against."""
+
+from repro.inference.base import (
+    LocalizationResult,
+    classify_paths,
+    path_badness_thresholds,
+)
+from repro.inference.clink import ClinkModel, clink_localize, learn_clink_priors
+from repro.inference.scfs import scfs_localize
+from repro.inference.tomo import greedy_cover_columns, tomo_localize
+
+__all__ = [
+    "ClinkModel",
+    "LocalizationResult",
+    "classify_paths",
+    "clink_localize",
+    "greedy_cover_columns",
+    "learn_clink_priors",
+    "path_badness_thresholds",
+    "scfs_localize",
+    "tomo_localize",
+]

@@ -1,0 +1,69 @@
+"""Shared machinery for the binary congestion-location baselines.
+
+The baselines (SCFS, greedy set cover, CLINK) work on *binary* snapshot
+data: each path is classified good or bad, and the algorithm returns the
+set of links it believes congested.  This module holds the path
+classification rule and the common result type.
+
+A path is classified *bad* when its measured loss exceeds what a path of
+all-good links could plausibly lose: ``1 - (1 - t_l) ** hop_count`` with
+``hop_count`` counted in physical links.  A path through any congested
+link (loss >= 0.05 under LLRD1) always exceeds this; an all-good path
+only through sampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.probing.snapshot import Snapshot
+from repro.topology.graph import Path
+from repro.topology.routing import RoutingMatrix
+
+
+def path_badness_thresholds(
+    paths: Sequence[Path], link_threshold: float
+) -> np.ndarray:
+    """Per-path loss threshold compounding the link threshold over hops."""
+    if not 0 < link_threshold < 1:
+        raise ValueError(f"link_threshold must be in (0, 1), got {link_threshold}")
+    lengths = np.array([p.length for p in paths], dtype=np.float64)
+    return 1.0 - (1.0 - link_threshold) ** lengths
+
+
+def classify_paths(
+    snapshot: Snapshot, paths: Sequence[Path], link_threshold: float
+) -> np.ndarray:
+    """Boolean bad-path mask for one snapshot."""
+    if snapshot.num_paths != len(paths):
+        raise ValueError("snapshot and path list must align")
+    thresholds = path_badness_thresholds(paths, link_threshold)
+    return snapshot.path_loss_rates() > thresholds
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Binary output of a congestion-location baseline."""
+
+    congested_columns: Tuple[int, ...]
+    algorithm: str
+
+    def as_mask(self, num_links: int) -> np.ndarray:
+        mask = np.zeros(num_links, dtype=bool)
+        mask[list(self.congested_columns)] = True
+        return mask
+
+    def loss_rate_proxy(
+        self, routing: RoutingMatrix, congested_value: float = 1.0
+    ) -> np.ndarray:
+        """Degenerate loss-rate vector for metric plumbing that wants rates.
+
+        Binary methods do not estimate rates (Table 1's point); identified
+        links get *congested_value*, others 0.
+        """
+        rates = np.zeros(routing.num_links, dtype=np.float64)
+        rates[list(self.congested_columns)] = congested_value
+        return rates

@@ -1,0 +1,97 @@
+"""SCFS — the Smallest Consistent Failure Set algorithm (Duffield 2006).
+
+The baseline the paper compares against in Figure 5.  SCFS works on one
+snapshot of binary path states over a *tree* rooted at a beacon:
+
+* a link is a *candidate* when every path crossing it is bad (otherwise
+  some good path proves it good);
+* among candidates, the smallest set consistent with the observations
+  takes the ones *closest to the root*: a candidate link explains all
+  bad paths below it, so its candidate descendants are redundant.
+
+Equivalently, link ``e = (u, v)`` is in the SCFS iff every path through
+``e`` is bad and either ``u`` is the root or some path through ``u``'s
+parent link is good.  SCFS uses a single snapshot and no rate
+information — exactly why LIA's multi-snapshot second-order statistics
+beat it in Figure 5.
+
+For multi-beacon systems we run SCFS per beacon tree (Assumption T.2
+makes each beacon's paths a tree) and take the union, the standard
+generalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.inference.base import LocalizationResult, classify_paths
+from repro.probing.snapshot import Snapshot
+from repro.topology.graph import Path
+from repro.topology.routing import RoutingMatrix
+
+
+def _scfs_one_beacon(
+    paths: Sequence[Path],
+    rows: Sequence[int],
+    bad: np.ndarray,
+) -> Set[int]:
+    """SCFS over one beacon's tree; returns physical link indices.
+
+    *rows* are the path indices originating at this beacon; *bad* is the
+    global bad-path mask.
+    """
+    # Paths crossing each link, and each link's parent on its tree.
+    paths_through: Dict[int, List[int]] = {}
+    parent_link: Dict[int, int] = {}
+    for row in rows:
+        previous = None
+        for link in paths[row].links:
+            paths_through.setdefault(link.index, []).append(row)
+            if previous is not None and link.index not in parent_link:
+                parent_link[link.index] = previous
+            previous = link.index
+
+    chosen: Set[int] = set()
+    for link_index, through in paths_through.items():
+        if not all(bad[r] for r in through):
+            continue
+        parent = parent_link.get(link_index)
+        if parent is None:
+            chosen.add(link_index)  # attached to the root: topmost by default
+            continue
+        parent_paths = paths_through[parent]
+        if not all(bad[r] for r in parent_paths):
+            chosen.add(link_index)  # parent is exonerated, we are topmost
+    return chosen
+
+
+def scfs_localize(
+    snapshot: Snapshot,
+    paths: Sequence[Path],
+    routing: RoutingMatrix,
+    link_threshold: float,
+) -> LocalizationResult:
+    """Run SCFS on one snapshot; returns congested routing-matrix columns.
+
+    Physical SCFS picks are mapped to their covering columns (an alias
+    group is congested when any member is picked).
+    """
+    bad = classify_paths(snapshot, paths, link_threshold)
+    by_beacon: Dict[int, List[int]] = {}
+    for i, path in enumerate(paths):
+        by_beacon.setdefault(path.source, []).append(i)
+
+    physical: Set[int] = set()
+    for rows in by_beacon.values():
+        physical |= _scfs_one_beacon(paths, rows, bad)
+
+    columns: Set[int] = set()
+    for link_index in physical:
+        column = routing.column_of_physical(link_index)
+        if column is not None:
+            columns.add(column)
+    return LocalizationResult(
+        congested_columns=tuple(sorted(columns)), algorithm="scfs"
+    )

@@ -1,0 +1,112 @@
+"""Greedy smallest-set congestion location for general meshes.
+
+The mesh-flavoured sibling of SCFS (in the spirit of Padmanabhan et al.'s
+server-based inference): find a small set of links whose congestion
+explains all bad paths, assuming (i) links are equally likely to be
+congested and (ii) few links are congested.
+
+Procedure on one snapshot of binary path states:
+
+1. every link carried by at least one *good* path is exonerated;
+2. remaining candidate links must cover all bad paths; we take the
+   classical greedy set-cover approximation, repeatedly picking the
+   candidate covering the most still-unexplained bad paths
+   (deterministic tie-break by column index).
+
+Bad paths containing no candidate (possible under sampling noise) are
+reported as unexplained rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.inference.base import LocalizationResult, classify_paths
+from repro.probing.snapshot import Snapshot
+from repro.topology.graph import Path
+from repro.topology.routing import RoutingMatrix
+
+
+@dataclass(frozen=True)
+class CoverDiagnostics:
+    """What the greedy cover saw: candidates and unexplained paths."""
+
+    num_candidates: int
+    unexplained_paths: Tuple[int, ...]
+
+
+def greedy_cover_columns(
+    routing: RoutingMatrix,
+    bad: np.ndarray,
+    weights: np.ndarray = None,
+) -> "tuple[List[int], CoverDiagnostics]":
+    """Weighted greedy set cover over routing-matrix columns.
+
+    *weights* (lower = more suspect) bias the pick; default is uniform,
+    reproducing the unweighted smallest-set heuristic.  Returns selected
+    columns and diagnostics.
+    """
+    bad = np.asarray(bad, dtype=bool)
+    if bad.shape != (routing.num_paths,):
+        raise ValueError("one badness flag per path required")
+    R = routing.matrix
+    good_rows = ~bad
+    exonerated = (R[good_rows].sum(axis=0) > 0) if good_rows.any() else np.zeros(
+        routing.num_links, dtype=bool
+    )
+    candidates = ~exonerated
+
+    if weights is None:
+        weights = np.ones(routing.num_links, dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (routing.num_links,):
+            raise ValueError("one weight per link required")
+        if np.any(weights <= 0):
+            raise ValueError("weights must be positive")
+
+    uncovered = set(int(i) for i in np.flatnonzero(bad))
+    chosen: List[int] = []
+    candidate_list = [int(c) for c in np.flatnonzero(candidates)]
+    rows_of = {c: set(int(r) for r in np.flatnonzero(R[:, c])) for c in candidate_list}
+    while uncovered:
+        best = None
+        best_score = 0.0
+        for c in candidate_list:
+            if c in chosen:
+                continue
+            gain = len(rows_of[c] & uncovered)
+            if gain == 0:
+                continue
+            score = gain / weights[c]
+            if score > best_score or (
+                score == best_score and best is not None and c < best
+            ):
+                best, best_score = c, score
+        if best is None:
+            break  # some bad paths cannot be explained by any candidate
+        chosen.append(best)
+        uncovered -= rows_of[best]
+
+    diagnostics = CoverDiagnostics(
+        num_candidates=int(candidates.sum()),
+        unexplained_paths=tuple(sorted(uncovered)),
+    )
+    return sorted(chosen), diagnostics
+
+
+def tomo_localize(
+    snapshot: Snapshot,
+    paths: Sequence[Path],
+    routing: RoutingMatrix,
+    link_threshold: float,
+) -> LocalizationResult:
+    """Unweighted greedy smallest-set location on one snapshot."""
+    bad = classify_paths(snapshot, paths, link_threshold)
+    chosen, _ = greedy_cover_columns(routing, bad)
+    return LocalizationResult(
+        congested_columns=tuple(chosen), algorithm="tomo-greedy"
+    )

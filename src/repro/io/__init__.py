@@ -1,0 +1,25 @@
+"""Storage seam: JSON campaign documents for external measurement data."""
+
+from repro.io.serialization import (
+    CampaignDocument,
+    document_from_dict,
+    document_to_dict,
+    load_campaign,
+    network_from_dict,
+    network_to_dict,
+    paths_from_list,
+    paths_to_list,
+    save_campaign,
+)
+
+__all__ = [
+    "CampaignDocument",
+    "document_from_dict",
+    "document_to_dict",
+    "load_campaign",
+    "network_from_dict",
+    "network_to_dict",
+    "paths_from_list",
+    "paths_to_list",
+    "save_campaign",
+]

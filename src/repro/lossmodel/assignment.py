@@ -1,0 +1,133 @@
+"""Per-snapshot congestion assignment (Section 6).
+
+"In each snapshot, each link is then randomly selected to be congested
+with probability p."  This module draws those marks and the matching loss
+rates, producing the :class:`SnapshotGroundTruth` that both the simulator
+and the accuracy metrics consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lossmodel.models import LossRateModel
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class SnapshotGroundTruth:
+    """Ground truth for one snapshot: which links are congested and how lossy.
+
+    ``loss_rates`` are *average* loss rates; the packet process (Gilbert or
+    Bernoulli) realises them stochastically during probing.
+    """
+
+    congested: np.ndarray  # (num_links,) bool
+    loss_rates: np.ndarray  # (num_links,) float in [0, 1]
+
+    def __post_init__(self) -> None:
+        if self.congested.shape != self.loss_rates.shape:
+            raise ValueError("congested and loss_rates must align")
+        if np.any((self.loss_rates < 0) | (self.loss_rates > 1)):
+            raise ValueError("loss rates must lie in [0, 1]")
+
+    @property
+    def num_links(self) -> int:
+        return int(self.congested.shape[0])
+
+    def transmission_rates(self) -> np.ndarray:
+        return 1.0 - self.loss_rates
+
+
+def draw_snapshot_truth(
+    num_links: int,
+    congestion_probability: float,
+    model: LossRateModel,
+    seed: SeedLike = None,
+) -> SnapshotGroundTruth:
+    """Draw one snapshot's congestion marks and loss rates.
+
+    Each link is congested independently with probability ``p``; loss
+    rates then follow the model's class-conditional uniforms.
+    """
+    if not 0 <= congestion_probability <= 1:
+        raise ValueError(
+            f"congestion probability must be in [0, 1], got {congestion_probability}"
+        )
+    if num_links <= 0:
+        raise ValueError(f"num_links must be positive, got {num_links}")
+    rng = as_rng(seed)
+    congested = rng.random(num_links) < congestion_probability
+    loss_rates = model.draw_rates(congested, seed=rng)
+    return SnapshotGroundTruth(congested=congested, loss_rates=loss_rates)
+
+
+def draw_link_propensities(
+    num_links: int,
+    trouble_fraction: float,
+    propensity_range: "tuple[float, float]" = (0.3, 0.9),
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Per-link probabilities of being congested in any given snapshot.
+
+    Models the Internet's heterogeneity: a fraction of *trouble-prone*
+    links (under-provisioned access/peering links) congest frequently,
+    the rest essentially never.  This is the regime of the paper's
+    Internet experiments, where congestion churns per snapshot
+    (Section 7.2.2) yet multi-snapshot variance learning still ranks
+    links usefully — because propensity, unlike a single snapshot's
+    state, is a stable per-link property.
+    """
+    if not 0 <= trouble_fraction <= 1:
+        raise ValueError("trouble_fraction must be in [0, 1]")
+    lo, hi = propensity_range
+    if not 0 <= lo <= hi <= 1:
+        raise ValueError(f"bad propensity_range {propensity_range}")
+    rng = as_rng(seed)
+    propensities = np.zeros(num_links, dtype=np.float64)
+    trouble = rng.random(num_links) < trouble_fraction
+    count = int(trouble.sum())
+    if count:
+        propensities[trouble] = rng.uniform(lo, hi, size=count)
+    return propensities
+
+
+def truth_from_propensities(
+    propensities: np.ndarray,
+    model: LossRateModel,
+    seed: SeedLike = None,
+) -> SnapshotGroundTruth:
+    """Draw one snapshot's truth given per-link congestion propensities."""
+    rng = as_rng(seed)
+    p = np.asarray(propensities, dtype=np.float64)
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("propensities must lie in [0, 1]")
+    congested = rng.random(p.shape[0]) < p
+    loss_rates = model.draw_rates(congested, seed=rng)
+    return SnapshotGroundTruth(congested=congested, loss_rates=loss_rates)
+
+
+def persistent_congestion_truth(
+    base: SnapshotGroundTruth,
+    model: LossRateModel,
+    redraw_fraction: float,
+    seed: SeedLike = None,
+) -> SnapshotGroundTruth:
+    """Evolve ground truth keeping most congestion marks from *base*.
+
+    Used by the congestion-duration study (Section 7.2.2 analogue): a
+    fraction of links re-draw their congestion state, the rest keep their
+    class but re-draw a rate within it (short-term variation).
+    """
+    if not 0 <= redraw_fraction <= 1:
+        raise ValueError("redraw_fraction must be in [0, 1]")
+    rng = as_rng(seed)
+    n = base.num_links
+    p_hat = float(base.congested.mean())
+    redraw = rng.random(n) < redraw_fraction
+    congested = base.congested.copy()
+    congested[redraw] = rng.random(int(redraw.sum())) < p_hat
+    loss_rates = model.draw_rates(congested, seed=rng)
+    return SnapshotGroundTruth(congested=congested, loss_rates=loss_rates)

@@ -1,0 +1,63 @@
+"""Packet-loss processes: the common interface.
+
+A loss process turns a vector of per-link *average* loss rates into a
+realisation of per-probe link states for one snapshot.  Two realisations
+matter to the paper:
+
+* :class:`~repro.lossmodel.gilbert.GilbertProcess` — bursty on/off losses
+  (the paper's default; "losses due to congestion occur in bursts");
+* :class:`~repro.lossmodel.bernoulli.BernoulliProcess` — memoryless drops
+  (the paper's control; "differences are insignificant").
+
+The interface exposes two granularities so the probing simulator can trade
+fidelity for speed:
+
+``sample_states(loss_rates, num_probes, seed)``
+    ``(num_links, num_probes)`` boolean array, True where the link drops
+    the probe sent at that index.  All paths crossing a link observe the
+    same realisation, which is exactly Assumption S.1.
+
+``sample_loss_fractions(loss_rates, num_probes, seed)``
+    Per-link fraction of dropped probes for the snapshot (the flow-level
+    shortcut; defaults to the row means of ``sample_states``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+class LossProcess(abc.ABC):
+    """Base class for per-link packet-loss processes."""
+
+    @abc.abstractmethod
+    def sample_states(
+        self,
+        loss_rates: np.ndarray,
+        num_probes: int,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Boolean drop matrix of shape ``(num_links, num_probes)``."""
+
+    def sample_loss_fractions(
+        self,
+        loss_rates: np.ndarray,
+        num_probes: int,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Per-link empirical loss fraction over one snapshot."""
+        states = self.sample_states(loss_rates, num_probes, seed=seed)
+        return states.mean(axis=1)
+
+    @staticmethod
+    def _validated_rates(loss_rates: np.ndarray) -> np.ndarray:
+        rates = np.asarray(loss_rates, dtype=np.float64)
+        if rates.ndim != 1:
+            raise ValueError("loss_rates must be one-dimensional")
+        if np.any((rates < 0) | (rates > 1)):
+            raise ValueError("loss rates must lie in [0, 1]")
+        return rates

@@ -1,0 +1,41 @@
+"""Evaluation metrics: DR/FPR, error factors, CDFs, cross-validation."""
+
+from repro.metrics.cdf import EmpiricalCDF
+from repro.metrics.detection import (
+    DetectionOutcome,
+    classify_congested,
+    detection_outcome,
+    evaluate_location,
+    per_column_thresholds,
+)
+from repro.metrics.errors import (
+    DEFAULT_DELTA,
+    AccuracyReport,
+    ErrorSummary,
+    absolute_error,
+    error_factor,
+)
+from repro.metrics.validation import (
+    DEFAULT_EPSILON,
+    ConsistencyResult,
+    physical_log_rates,
+    validate_against_paths,
+)
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "DEFAULT_EPSILON",
+    "AccuracyReport",
+    "ConsistencyResult",
+    "DetectionOutcome",
+    "EmpiricalCDF",
+    "ErrorSummary",
+    "absolute_error",
+    "classify_congested",
+    "detection_outcome",
+    "error_factor",
+    "evaluate_location",
+    "per_column_thresholds",
+    "physical_log_rates",
+    "validate_against_paths",
+]

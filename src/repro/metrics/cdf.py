@@ -1,0 +1,41 @@
+"""Empirical CDFs (for the Figure 6 reproductions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """An empirical distribution function built from samples."""
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def of(cls, samples: np.ndarray) -> "EmpiricalCDF":
+        values = np.sort(np.asarray(samples, dtype=np.float64).ravel())
+        if values.size == 0:
+            raise ValueError("cannot build a CDF from zero samples")
+        return cls(sorted_values=values)
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.sorted_values.shape[0])
+
+    def at(self, points) -> np.ndarray:
+        """P(X <= point) for each query point (vectorised)."""
+        pts = np.asarray(points, dtype=np.float64)
+        ranks = np.searchsorted(self.sorted_values, pts, side="right")
+        return ranks / self.num_samples
+
+    def quantile(self, q) -> np.ndarray:
+        """Inverse CDF via linear interpolation."""
+        return np.quantile(self.sorted_values, q)
+
+    def series(self, points: Sequence[float]) -> "list[tuple[float, float]]":
+        """(x, F(x)) pairs ready for table rendering."""
+        values = self.at(points)
+        return [(float(x), float(y)) for x, y in zip(points, values)]

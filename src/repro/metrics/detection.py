@@ -1,0 +1,111 @@
+"""Congested-link location metrics: detection rate and false positive rate.
+
+Section 6 of the paper:
+
+    DR  = |F ∩ X| / |F|      (fraction of congested links found)
+    FPR = |X \\ F| / |X|      (fraction of identified links that are good)
+
+where ``F`` is the set of actually congested links and ``X`` the set a
+location algorithm reports.  Inferred loss rates are turned into ``X`` by
+comparison against the loss-model threshold ``t_l``.
+
+One subtlety our virtual links introduce: a routing-matrix column can
+aggregate several alias physical links, and a chain of, say, three good
+links can legitimately lose slightly more than ``t_l`` in total.  The
+column-level threshold therefore compounds per member:
+``1 - (1 - t_l) ** n_members``, which equals ``t_l`` for singleton
+columns and never misgrades an all-good alias chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.routing import RoutingMatrix
+
+
+def per_column_thresholds(routing: RoutingMatrix, threshold: float) -> np.ndarray:
+    """Member-compounded classification threshold for each column."""
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    members = np.array([v.size for v in routing.virtual_links], dtype=np.float64)
+    return 1.0 - (1.0 - threshold) ** members
+
+
+def classify_congested(
+    loss_rates: np.ndarray, thresholds: np.ndarray
+) -> np.ndarray:
+    """Boolean congestion classification, columnwise thresholds allowed."""
+    loss = np.asarray(loss_rates, dtype=np.float64)
+    thr = np.broadcast_to(np.asarray(thresholds, dtype=np.float64), loss.shape)
+    return loss > thr
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """Confusion counts of a congested-link location run."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def num_congested(self) -> int:
+        return self.true_positives + self.false_negatives
+
+    @property
+    def num_identified(self) -> int:
+        return self.true_positives + self.false_positives
+
+    @property
+    def detection_rate(self) -> float:
+        """DR = |F ∩ X| / |F|; defined as 1 when nothing was congested."""
+        if self.num_congested == 0:
+            return 1.0
+        return self.true_positives / self.num_congested
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FPR = |X \\ F| / |X|; defined as 0 when nothing was identified."""
+        if self.num_identified == 0:
+            return 0.0
+        return self.false_positives / self.num_identified
+
+    def __add__(self, other: "DetectionOutcome") -> "DetectionOutcome":
+        return DetectionOutcome(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+            true_negatives=self.true_negatives + other.true_negatives,
+        )
+
+
+def detection_outcome(
+    identified: np.ndarray, congested: np.ndarray
+) -> DetectionOutcome:
+    """Confusion counts from boolean identified/actual masks."""
+    identified = np.asarray(identified, dtype=bool)
+    congested = np.asarray(congested, dtype=bool)
+    if identified.shape != congested.shape:
+        raise ValueError("masks must have identical shape")
+    return DetectionOutcome(
+        true_positives=int((identified & congested).sum()),
+        false_positives=int((identified & ~congested).sum()),
+        false_negatives=int((~identified & congested).sum()),
+        true_negatives=int((~identified & ~congested).sum()),
+    )
+
+
+def evaluate_location(
+    inferred_loss_rates: np.ndarray,
+    true_congested: np.ndarray,
+    routing: RoutingMatrix,
+    threshold: float,
+) -> DetectionOutcome:
+    """One-call DR/FPR evaluation of inferred per-column loss rates."""
+    thresholds = per_column_thresholds(routing, threshold)
+    identified = classify_congested(inferred_loss_rates, thresholds)
+    return detection_outcome(identified, true_congested)

@@ -1,0 +1,89 @@
+"""Loss-rate accuracy metrics: absolute errors and the error factor.
+
+The error factor (Bu et al., adopted in Section 6 of the paper) compares a
+true loss probability ``q`` with an inferred ``q*`` after flooring both at
+a margin ``delta``::
+
+    f_delta(q, q*) = max{ q(delta) / q*(delta), q*(delta) / q(delta) }
+
+with ``q(delta) = max(delta, q)``.  The default margin is 1e-3 as in the
+paper.  Absolute errors are plain ``|q - q*|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+DEFAULT_DELTA = 1e-3
+
+
+def error_factor(
+    true_loss: np.ndarray,
+    inferred_loss: np.ndarray,
+    delta: float = DEFAULT_DELTA,
+) -> np.ndarray:
+    """Vectorised error factor ``f_delta`` (eq. (10) of the paper)."""
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    q = np.maximum(np.asarray(true_loss, dtype=np.float64), delta)
+    q_star = np.maximum(np.asarray(inferred_loss, dtype=np.float64), delta)
+    if q.shape != q_star.shape:
+        raise ValueError("loss vectors must align")
+    return np.maximum(q / q_star, q_star / q)
+
+
+def absolute_error(true_loss: np.ndarray, inferred_loss: np.ndarray) -> np.ndarray:
+    q = np.asarray(true_loss, dtype=np.float64)
+    q_star = np.asarray(inferred_loss, dtype=np.float64)
+    if q.shape != q_star.shape:
+        raise ValueError("loss vectors must align")
+    return np.abs(q - q_star)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Max / median / min, the three columns Table 2 reports."""
+
+    maximum: float
+    median: float
+    minimum: float
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "ErrorSummary":
+        v = np.asarray(values, dtype=np.float64)
+        if v.size == 0:
+            raise ValueError("cannot summarise an empty error vector")
+        return cls(
+            maximum=float(v.max()),
+            median=float(np.median(v)),
+            minimum=float(v.min()),
+        )
+
+    def as_row(self) -> "tuple[float, float, float]":
+        return (self.maximum, self.median, self.minimum)
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Error-factor and absolute-error summaries for one inference run."""
+
+    error_factors: ErrorSummary
+    absolute_errors: ErrorSummary
+
+    @classmethod
+    def compare(
+        cls,
+        true_loss: np.ndarray,
+        inferred_loss: np.ndarray,
+        delta: float = DEFAULT_DELTA,
+    ) -> "AccuracyReport":
+        return cls(
+            error_factors=ErrorSummary.of(
+                error_factor(true_loss, inferred_loss, delta)
+            ),
+            absolute_errors=ErrorSummary.of(
+                absolute_error(true_loss, inferred_loss)
+            ),
+        )

@@ -1,0 +1,5 @@
+"""Online monitoring / anomaly detection built on LIA."""
+
+from repro.monitor.online import AnomalyEvent, MonitorReport, OnlineLossMonitor
+
+__all__ = ["AnomalyEvent", "MonitorReport", "OnlineLossMonitor"]

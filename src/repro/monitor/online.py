@@ -1,0 +1,208 @@
+"""Online monitoring and anomaly detection — the paper's second extension.
+
+"A second extension is the detection of anomalies in the network, from a
+few vantage points.  The inference method is fast and so could have
+potential for such problems."  This module packages LIA as the long-
+running service that sentence implies:
+
+* a **rolling window** of the last ``window`` snapshots feeds phase 1;
+  the variance estimate refreshes every ``refresh_interval`` snapshots
+  (the expensive intersecting-pairs structure is built once);
+* every arriving snapshot is screened by a cheap **path-level z-score**
+  against the window's running statistics; snapshots with anomalous
+  paths trigger full LIA localisation;
+* per-link congestion state is tracked across snapshots, emitting
+  ``onset`` / ``cleared`` events with durations — the Section 7.2.2
+  run-length analysis as a live signal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.lia import LossInferenceAlgorithm
+from repro.core.variance import VarianceEstimate
+from repro.probing.snapshot import MeasurementCampaign, Snapshot
+from repro.topology.routing import RoutingMatrix
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """A state change of one link's congestion status."""
+
+    time_index: int
+    column: int
+    kind: str  # "onset" | "cleared"
+    inferred_loss_rate: float
+    duration_snapshots: Optional[int] = None  # set on "cleared"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = (
+            f" after {self.duration_snapshots} snapshots"
+            if self.duration_snapshots is not None
+            else ""
+        )
+        return (
+            f"t={self.time_index}: link {self.column} {self.kind}"
+            f" (loss {self.inferred_loss_rate:.4f}){extra}"
+        )
+
+
+@dataclass
+class MonitorReport:
+    """Outcome of feeding one snapshot to the monitor."""
+
+    time_index: int
+    screened_anomalous: bool
+    anomalous_paths: np.ndarray
+    events: List[AnomalyEvent] = field(default_factory=list)
+    loss_rates: Optional[np.ndarray] = None
+
+
+class OnlineLossMonitor:
+    """Streaming LIA with path screening and link-state tracking.
+
+    Parameters
+    ----------
+    routing:
+        The (fixed) reduced routing matrix of the deployment.
+    window:
+        Rolling training-window length (the paper's m).
+    refresh_interval:
+        Re-learn variances every this many snapshots once warm.
+    congestion_threshold:
+        Loss rate above which a link counts as congested (``t_l``).
+    z_threshold:
+        Path screening sensitivity: a path is anomalous when its log
+        rate sits more than this many rolling standard deviations below
+        its rolling mean.
+    localize_always:
+        Run LIA on every snapshot instead of only on screened ones
+        (costlier, catches sub-threshold drift).
+    """
+
+    def __init__(
+        self,
+        routing: RoutingMatrix,
+        window: int = 50,
+        refresh_interval: int = 10,
+        congestion_threshold: float = 0.002,
+        z_threshold: float = 4.0,
+        localize_always: bool = False,
+    ) -> None:
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        if refresh_interval < 1:
+            raise ValueError("refresh_interval must be at least 1")
+        if z_threshold <= 0:
+            raise ValueError("z_threshold must be positive")
+        self.routing = routing
+        self.window = window
+        self.refresh_interval = refresh_interval
+        self.congestion_threshold = congestion_threshold
+        self.z_threshold = z_threshold
+        self.localize_always = localize_always
+
+        self._lia = LossInferenceAlgorithm(
+            routing, congestion_threshold=congestion_threshold
+        )
+        self._history: Deque[Snapshot] = deque(maxlen=window)
+        self._estimate: Optional[VarianceEstimate] = None
+        self._since_refresh = 0
+        self._time = -1
+        self._congested_since: Dict[int, int] = {}
+        self._last_rates: Dict[int, float] = {}
+
+    # -- state queries -------------------------------------------------------
+
+    @property
+    def is_warm(self) -> bool:
+        """True once the training window is full."""
+        return len(self._history) >= self.window
+
+    def currently_congested(self) -> List[int]:
+        return sorted(self._congested_since)
+
+    def congestion_age(self, column: int) -> Optional[int]:
+        """Snapshots since this link's current congestion onset."""
+        onset = self._congested_since.get(column)
+        if onset is None:
+            return None
+        return self._time - onset + 1
+
+    # -- ingestion -------------------------------------------------------------
+
+    def observe(self, snapshot: Snapshot) -> MonitorReport:
+        """Feed one snapshot; returns screening + localisation outcome."""
+        if snapshot.num_paths != self.routing.num_paths:
+            raise ValueError("snapshot does not match routing matrix")
+        self._time += 1
+        anomalous = self._screen(snapshot)
+        report = MonitorReport(
+            time_index=self._time,
+            screened_anomalous=bool(anomalous.any()),
+            anomalous_paths=np.flatnonzero(anomalous),
+        )
+
+        self._history.append(snapshot)
+        if not self.is_warm:
+            return report
+
+        if self._estimate is None or self._since_refresh >= self.refresh_interval:
+            training = MeasurementCampaign(
+                routing=self.routing, snapshots=list(self._history)
+            )
+            self._estimate = self._lia.learn_variances(training)
+            self._since_refresh = 0
+        else:
+            self._since_refresh += 1
+
+        if self.localize_always or report.screened_anomalous or self._congested_since:
+            result = self._lia.infer(snapshot, self._estimate)
+            report.loss_rates = result.loss_rates
+            report.events = self._update_states(result.loss_rates)
+        return report
+
+    def _screen(self, snapshot: Snapshot) -> np.ndarray:
+        """Cheap per-path z-score against the rolling window."""
+        if len(self._history) < 2:
+            return np.zeros(snapshot.num_paths, dtype=bool)
+        Y = np.vstack([s.path_log_rates() for s in self._history])
+        mean = Y.mean(axis=0)
+        std = np.maximum(Y.std(axis=0, ddof=1), 1e-6)
+        z = (snapshot.path_log_rates() - mean) / std
+        return z < -self.z_threshold
+
+    def _update_states(self, loss_rates: np.ndarray) -> List[AnomalyEvent]:
+        events: List[AnomalyEvent] = []
+        congested_now = set(
+            int(c) for c in np.flatnonzero(loss_rates > self.congestion_threshold)
+        )
+        for column in sorted(congested_now - set(self._congested_since)):
+            self._congested_since[column] = self._time
+            events.append(
+                AnomalyEvent(
+                    time_index=self._time,
+                    column=column,
+                    kind="onset",
+                    inferred_loss_rate=float(loss_rates[column]),
+                )
+            )
+        for column in sorted(set(self._congested_since) - congested_now):
+            onset = self._congested_since.pop(column)
+            events.append(
+                AnomalyEvent(
+                    time_index=self._time,
+                    column=column,
+                    kind="cleared",
+                    inferred_loss_rate=float(loss_rates[column]),
+                    duration_snapshots=self._time - onset,
+                )
+            )
+        for column in congested_now:
+            self._last_rates[column] = float(loss_rates[column])
+        return events

@@ -1,0 +1,177 @@
+"""Synthetic IPv4 addressing: prefix allocation and longest-prefix match.
+
+The Internet experiments of Section 7 need two address-plane mechanisms:
+router interfaces with real IPs (traceroute reports interfaces, not
+routers) and an IP -> AS mapping built from a BGP table (the paper uses
+RouteViews).  This module provides the substrate: a deterministic prefix
+allocator that carves per-AS prefixes out of ``10.0.0.0/8``, and a binary
+trie doing longest-prefix-match lookups — the same mechanism a BGP RIB
+uses, so the Table 3 classification pipeline is exercised faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+ADDRESS_BITS = 32
+
+
+def format_ipv4(address: int) -> str:
+    """Dotted-quad rendering of a 32-bit address."""
+    if not 0 <= address < 2**32:
+        raise ValueError(f"not a 32-bit address: {address}")
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad text into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An address prefix ``network/length``."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= ADDRESS_BITS:
+            raise ValueError(f"bad prefix length {self.length}")
+        host_bits = ADDRESS_BITS - self.length
+        if self.network & ((1 << host_bits) - 1):
+            raise ValueError("network has host bits set")
+
+    def contains(self, address: int) -> bool:
+        host_bits = ADDRESS_BITS - self.length
+        return (address >> host_bits) == (self.network >> host_bits)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (ADDRESS_BITS - self.length)
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network)}/{self.length}"
+
+
+class PrefixAllocator:
+    """Carve equal-sized child prefixes out of a parent block.
+
+    Deterministic: the i-th allocation is always the i-th child, so a
+    topology generator seeded identically produces identical addressing.
+    """
+
+    def __init__(self, parent: Prefix = Prefix(0x0A000000, 8), child_length: int = 16):
+        if child_length < parent.length or child_length > ADDRESS_BITS:
+            raise ValueError("child prefixes must nest inside the parent")
+        self.parent = parent
+        self.child_length = child_length
+        self._next = 0
+        self._capacity = 1 << (child_length - parent.length)
+
+    def allocate(self) -> Prefix:
+        if self._next >= self._capacity:
+            raise RuntimeError(
+                f"prefix space exhausted after {self._capacity} allocations"
+            )
+        host_bits = ADDRESS_BITS - self.child_length
+        network = self.parent.network | (self._next << host_bits)
+        self._next += 1
+        return Prefix(network=network, length=self.child_length)
+
+
+class HostAllocator:
+    """Hand out consecutive host addresses inside one prefix."""
+
+    def __init__(self, prefix: Prefix):
+        self.prefix = prefix
+        self._next = 1  # skip the network address
+
+    def allocate(self) -> int:
+        if self._next >= self.prefix.num_addresses - 1:  # keep broadcast free
+            raise RuntimeError(f"host space of {self.prefix} exhausted")
+        address = self.prefix.network | self._next
+        self._next += 1
+        return address
+
+
+class _TrieNode:
+    __slots__ = ("zero", "one", "value", "terminal")
+
+    def __init__(self) -> None:
+        self.zero: Optional[_TrieNode] = None
+        self.one: Optional[_TrieNode] = None
+        self.value = None
+        self.terminal = False
+
+
+class LongestPrefixTrie:
+    """Binary trie supporting longest-prefix-match lookups.
+
+    The classic RIB data structure: insert ``(prefix, value)`` pairs, look
+    up an address, get the value of the most specific covering prefix.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value) -> None:
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (ADDRESS_BITS - 1 - depth)) & 1
+            if bit:
+                if node.one is None:
+                    node.one = _TrieNode()
+                node = node.one
+            else:
+                if node.zero is None:
+                    node.zero = _TrieNode()
+                node = node.zero
+        if not node.terminal:
+            self._size += 1
+        node.terminal = True
+        node.value = value
+
+    def lookup(self, address: int):
+        """Value of the longest matching prefix, or ``None``."""
+        if not 0 <= address < 2**32:
+            raise ValueError(f"not a 32-bit address: {address}")
+        node = self._root
+        best = None
+        if node.terminal:
+            best = node.value
+        for depth in range(ADDRESS_BITS):
+            bit = (address >> (ADDRESS_BITS - 1 - depth)) & 1
+            node = node.one if bit else node.zero
+            if node is None:
+                break
+            if node.terminal:
+                best = node.value
+        return best
+
+    def items(self) -> Iterator[Tuple[Prefix, object]]:
+        """All (prefix, value) pairs, depth-first."""
+
+        def walk(node: _TrieNode, bits: int, depth: int):
+            if node.terminal:
+                yield Prefix(bits << (ADDRESS_BITS - depth), depth), node.value
+            if node.zero is not None:
+                yield from walk(node.zero, bits << 1, depth + 1)
+            if node.one is not None:
+                yield from walk(node.one, (bits << 1) | 1, depth + 1)
+
+        yield from walk(self._root, 0, 0)

@@ -1,0 +1,179 @@
+"""sr-ally-style alias resolution and measured-topology reconstruction.
+
+Takes the traceroute records of :mod:`repro.netsim.traceroute` and builds
+the topology a measurement platform would *believe* in:
+
+1. **alias resolution** — interface addresses belonging to one router are
+   merged with probability ``recall`` per non-canonical interface
+   (sr-ally "does not guarantee complete identification"); unmerged
+   interfaces become separate measured nodes, splitting the router;
+2. **anonymous reconstruction** — silent routers become pseudo-nodes
+   keyed by (router, previous hop), the neighbour-context heuristic;
+3. **path rebuilding** — every traced path is re-expressed over measured
+   nodes, producing the measured network and path set on which LIA's
+   routing matrix is built.
+
+The returned structure keeps the measured-link -> true-link mapping (pure
+ground truth, for evaluation only) plus error diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.netsim.traceroute import TracerouteRecord, TracerouteSimulator
+from repro.topology.graph import Link, Network, NodeId, Path
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class AliasResolution:
+    """Outcome of sr-ally over the observed interface addresses."""
+
+    #: observed interface address -> measured node key
+    node_key_of_interface: Dict[int, "tuple"]
+    #: true routers whose interfaces ended up split across measured nodes
+    split_routers: Set[NodeId]
+
+
+def resolve_aliases(
+    simulator: TracerouteSimulator,
+    records: Sequence[TracerouteRecord],
+    recall: float = 0.85,
+    seed: SeedLike = None,
+) -> AliasResolution:
+    """Simulate sr-ally with the given per-interface merge recall."""
+    if not 0 <= recall <= 1:
+        raise ValueError(f"recall must be in [0, 1], got {recall}")
+    rng = as_rng(seed)
+
+    observed: Dict[NodeId, Set[int]] = {}
+    for record in records:
+        for hop in record.hops:
+            if hop.interface is not None:
+                observed.setdefault(hop.true_router, set()).add(hop.interface)
+
+    node_key_of_interface: Dict[int, tuple] = {}
+    split: Set[NodeId] = set()
+    for router, interfaces in observed.items():
+        canonical = simulator.canonical_address(router)
+        anchor = canonical if canonical in interfaces else min(interfaces)
+        for interface in sorted(interfaces):
+            if interface == anchor or rng.random() < recall:
+                node_key_of_interface[interface] = ("router", router)
+            else:
+                node_key_of_interface[interface] = ("iface", interface)
+                split.add(router)
+    return AliasResolution(
+        node_key_of_interface=node_key_of_interface, split_routers=split
+    )
+
+
+@dataclass
+class MeasuredTopology:
+    """The topology and paths a platform reconstructs from traceroutes.
+
+    ``paths`` align one-to-one (same order) with the true paths traced,
+    so end-to-end measurements taken on the true network apply directly.
+    ``true_link_of_measured`` maps each measured physical link index to
+    the true physical link index it was observed as (ground truth, for
+    evaluation).
+    """
+
+    network: Network
+    paths: List[Path]
+    true_link_of_measured: Dict[int, int]
+    num_anonymous_nodes: int
+    num_split_routers: int
+
+    def summary(self) -> str:
+        return (
+            f"measured topology: {self.network.num_nodes} nodes "
+            f"({self.num_anonymous_nodes} anonymous, "
+            f"{self.num_split_routers} split routers), "
+            f"{self.network.num_links} links over {len(self.paths)} paths"
+        )
+
+
+def build_measured_topology(
+    simulator: TracerouteSimulator,
+    true_paths: Sequence[Path],
+    records: Sequence[TracerouteRecord],
+    resolution: AliasResolution,
+) -> MeasuredTopology:
+    """Assemble the measured network and measured paths from traces."""
+    if len(true_paths) != len(records):
+        raise ValueError("one traceroute record per path required")
+
+    key_to_id: Dict[tuple, int] = {}
+    measured = Network()
+
+    def node_id(key: tuple) -> int:
+        if key not in key_to_id:
+            key_to_id[key] = len(key_to_id)
+            measured.add_node(key_to_id[key])
+        return key_to_id[key]
+
+    anonymous_keys: Set[tuple] = set()
+    measured_paths: List[Path] = []
+    true_link_of_measured: Dict[int, int] = {}
+
+    for path, record in zip(true_paths, records):
+        node_keys: List[tuple] = [("host", path.source)]
+        previous_router: NodeId = path.source
+        for hop in record.hops:
+            if hop.interface is not None:
+                key = resolution.node_key_of_interface[hop.interface]
+            else:
+                key = ("anon", hop.true_router, previous_router)
+                anonymous_keys.add(key)
+            node_keys.append(key)
+            previous_router = hop.true_router
+        # The final hop is the destination host itself; name it stably so
+        # all paths to one destination share the node.
+        node_keys[-1] = ("host", path.dest)
+
+        hops: List[Link] = []
+        for (key_a, key_b), true_link in zip(
+            zip(node_keys, node_keys[1:]), path.links
+        ):
+            a, b = node_id(key_a), node_id(key_b)
+            link = measured.find_link(a, b)
+            if link is None:
+                link = measured.add_link(a, b)
+                true_link_of_measured[link.index] = true_link.index
+            hops.append(link)
+        measured_paths.append(
+            Path(
+                index=len(measured_paths),
+                source=node_id(("host", path.source)),
+                dest=node_id(("host", path.dest)),
+                links=tuple(hops),
+            )
+        )
+
+    return MeasuredTopology(
+        network=measured,
+        paths=measured_paths,
+        true_link_of_measured=true_link_of_measured,
+        num_anonymous_nodes=len(anonymous_keys),
+        num_split_routers=len(resolution.split_routers),
+    )
+
+
+def measure_topology(
+    network: Network,
+    true_paths: Sequence[Path],
+    end_hosts: Sequence[NodeId] = (),
+    recall: float = 0.85,
+    seed: SeedLike = None,
+    simulator: Optional[TracerouteSimulator] = None,
+) -> MeasuredTopology:
+    """One-call convenience: trace, resolve aliases, rebuild topology."""
+    rng = as_rng(seed)
+    if simulator is None:
+        simulator = TracerouteSimulator(network, end_hosts=end_hosts, seed=rng)
+    records = simulator.trace_all(true_paths)
+    resolution = resolve_aliases(simulator, records, recall=recall, seed=rng)
+    return build_measured_topology(simulator, true_paths, records, resolution)

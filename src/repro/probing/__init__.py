@@ -1,0 +1,24 @@
+"""Probing simulator: snapshots, campaigns, scheduling, collection."""
+
+from repro.probing.collector import PathSplit, restrict_campaign, split_paths
+from repro.probing.prober import ProberConfig, ProbingSimulator
+from repro.probing.scheduler import (
+    ProbeSchedule,
+    ProbeScheduler,
+    ScheduledMeasurement,
+)
+from repro.probing.snapshot import MeasurementCampaign, Snapshot, log_with_floor
+
+__all__ = [
+    "MeasurementCampaign",
+    "PathSplit",
+    "ProbeSchedule",
+    "ProbeScheduler",
+    "ProberConfig",
+    "ProbingSimulator",
+    "ScheduledMeasurement",
+    "Snapshot",
+    "log_with_floor",
+    "restrict_campaign",
+    "split_paths",
+]

@@ -1,0 +1,87 @@
+"""The central measurement collector (Sections 3 and 7).
+
+Beacons periodically upload their measurements; the collector aggregates
+them per snapshot and supports the paper's indirect validation protocol
+(Section 7.2): randomly split the measured paths into an *inference set*
+and a *validation set* of equal size, run LIA on the inference half, and
+check the inferred link rates against the withheld half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.probing.snapshot import MeasurementCampaign, Snapshot
+from repro.topology.graph import Path
+from repro.topology.routing import RoutingMatrix
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class PathSplit:
+    """A random half/half partition of path rows."""
+
+    inference_rows: Tuple[int, ...]
+    validation_rows: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.inference_rows) & set(self.validation_rows)
+        if overlap:
+            raise ValueError(f"rows appear in both halves: {sorted(overlap)[:5]}")
+
+
+def split_paths(
+    num_paths: int, seed: SeedLike = None, validation_fraction: float = 0.5
+) -> PathSplit:
+    """Randomly partition path rows into inference and validation sets."""
+    if num_paths < 2:
+        raise ValueError("need at least two paths to split")
+    if not 0 < validation_fraction < 1:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    rng = as_rng(seed)
+    order = rng.permutation(num_paths)
+    cut = int(round(num_paths * validation_fraction))
+    cut = min(max(cut, 1), num_paths - 1)
+    validation = tuple(sorted(int(i) for i in order[:cut]))
+    inference = tuple(sorted(int(i) for i in order[cut:]))
+    return PathSplit(inference_rows=inference, validation_rows=validation)
+
+
+def restrict_campaign(
+    campaign: MeasurementCampaign,
+    paths: Sequence[Path],
+    rows: Sequence[int],
+) -> Tuple[MeasurementCampaign, List[Path], RoutingMatrix]:
+    """Project a campaign onto a subset of its path rows.
+
+    Re-indexes the selected paths, rebuilds the (re-reduced) routing
+    matrix over them — the inference topology covers fewer links, exactly
+    as in the paper's protocol — and slices every snapshot's measurements.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("row subset must be non-empty")
+    sub_paths: List[Path] = []
+    for new_index, row in enumerate(rows):
+        old = paths[row]
+        sub_paths.append(
+            Path(index=new_index, source=old.source, dest=old.dest, links=old.links)
+        )
+    sub_routing = RoutingMatrix.from_paths(sub_paths)
+    selector = np.asarray(rows, dtype=np.int64)
+    sub_campaign = MeasurementCampaign(
+        routing=sub_routing,
+        snapshots=[
+            Snapshot(
+                path_transmission=snap.path_transmission[selector],
+                num_probes=snap.num_probes,
+                truth=snap.truth,
+                realized_loss_fractions=snap.realized_loss_fractions,
+            )
+            for snap in campaign.snapshots
+        ],
+    )
+    return sub_campaign, sub_paths, sub_routing

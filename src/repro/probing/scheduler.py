@@ -1,0 +1,132 @@
+"""Probe scheduling with per-beacon rate limits (Section 7.1).
+
+The PlanetLab deployment probed with 40-byte UDP packets at 10 ms spacing
+(1000 probes in 10 s per path), capped each beacon at 100 KB/s — i.e.
+~150 paths per minute per beacon — and randomised the order in which each
+host probed the others.  This module reproduces that schedule so the
+campaign example can report realistic round durations and so tests can
+assert the rate cap is honoured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.topology.graph import Path
+from repro.utils.rng import SeedLike, as_rng
+
+PROBE_SIZE_BYTES = 40  # 20 IP + 8 UDP + 12 payload
+DEFAULT_INTERARRIVAL_S = 0.010
+DEFAULT_RATE_CAP_BYTES_PER_S = 100_000
+
+
+@dataclass(frozen=True)
+class ScheduledMeasurement:
+    """One path measurement placed on a beacon's timeline."""
+
+    path_index: int
+    beacon: int
+    start_time_s: float
+    duration_s: float
+
+    @property
+    def end_time_s(self) -> float:
+        return self.start_time_s + self.duration_s
+
+
+@dataclass
+class ProbeSchedule:
+    """A full measurement round: per-beacon timelines of measurements."""
+
+    measurements: List[ScheduledMeasurement]
+    probes_per_path: int
+
+    @property
+    def round_duration_s(self) -> float:
+        return max((m.end_time_s for m in self.measurements), default=0.0)
+
+    def per_beacon(self) -> Dict[int, List[ScheduledMeasurement]]:
+        grouped: Dict[int, List[ScheduledMeasurement]] = {}
+        for m in self.measurements:
+            grouped.setdefault(m.beacon, []).append(m)
+        for timeline in grouped.values():
+            timeline.sort(key=lambda m: m.start_time_s)
+        return grouped
+
+    def beacon_send_rate_bytes_per_s(self, beacon: int) -> float:
+        """Average bytes/s the beacon emits over its active window."""
+        timeline = self.per_beacon().get(beacon, [])
+        if not timeline:
+            return 0.0
+        span = max(m.end_time_s for m in timeline)
+        total_bytes = len(timeline) * self.probes_per_path * PROBE_SIZE_BYTES
+        return total_bytes / span if span > 0 else math.inf
+
+
+class ProbeScheduler:
+    """Serialise each beacon's measurements under its byte-rate cap.
+
+    Probing one path takes ``probes_per_path * interarrival`` seconds and
+    emits at ``PROBE_SIZE / interarrival`` bytes/s.  The cap limits how
+    many paths a beacon may probe *concurrently*; like the paper we keep
+    it simple and allow ``floor(cap / per_path_rate)`` parallel streams,
+    batching the (randomised) path list accordingly.
+    """
+
+    def __init__(
+        self,
+        probes_per_path: int = 1000,
+        interarrival_s: float = DEFAULT_INTERARRIVAL_S,
+        rate_cap_bytes_per_s: float = DEFAULT_RATE_CAP_BYTES_PER_S,
+    ) -> None:
+        if probes_per_path <= 0:
+            raise ValueError("probes_per_path must be positive")
+        if interarrival_s <= 0:
+            raise ValueError("interarrival_s must be positive")
+        if rate_cap_bytes_per_s <= 0:
+            raise ValueError("rate_cap_bytes_per_s must be positive")
+        self.probes_per_path = probes_per_path
+        self.interarrival_s = interarrival_s
+        self.rate_cap_bytes_per_s = rate_cap_bytes_per_s
+
+    @property
+    def per_path_rate_bytes_per_s(self) -> float:
+        return PROBE_SIZE_BYTES / self.interarrival_s
+
+    @property
+    def max_parallel_paths(self) -> int:
+        return max(1, int(self.rate_cap_bytes_per_s // self.per_path_rate_bytes_per_s))
+
+    @property
+    def path_duration_s(self) -> float:
+        return self.probes_per_path * self.interarrival_s
+
+    def schedule_round(
+        self, paths: Sequence[Path], seed: SeedLike = None
+    ) -> ProbeSchedule:
+        """Assign a start time to every path measurement of one round."""
+        rng = as_rng(seed)
+        by_beacon: Dict[int, List[int]] = {}
+        for i, path in enumerate(paths):
+            by_beacon.setdefault(path.source, []).append(i)
+
+        measurements: List[ScheduledMeasurement] = []
+        parallel = self.max_parallel_paths
+        for beacon in sorted(by_beacon):
+            order = list(by_beacon[beacon])
+            rng.shuffle(order)
+            for slot, path_index in enumerate(order):
+                batch = slot // parallel
+                measurements.append(
+                    ScheduledMeasurement(
+                        path_index=path_index,
+                        beacon=beacon,
+                        start_time_s=batch * self.path_duration_s,
+                        duration_s=self.path_duration_s,
+                    )
+                )
+        return ProbeSchedule(
+            measurements=measurements, probes_per_path=self.probes_per_path
+        )

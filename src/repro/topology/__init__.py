@@ -1,0 +1,34 @@
+"""Network topology substrate: graphs, routing matrices, generators.
+
+Public surface:
+
+* :class:`~repro.topology.graph.Network`, :class:`~repro.topology.graph.Path`
+  and :func:`~repro.topology.graph.build_paths` — the directed graph model
+  and canonical shortest-path probing routes;
+* :class:`~repro.topology.routing.RoutingMatrix` — the reduced routing
+  matrix ``R`` with alias and coverage reduction (Section 3.1);
+* route-fluttering checks for Assumption T.2;
+* the generators subpackage for the paper's evaluation topologies.
+"""
+
+from repro.topology.fluttering import (
+    assert_no_fluttering,
+    find_fluttering_pairs,
+    paths_flutter,
+    remove_fluttering_paths,
+)
+from repro.topology.graph import Link, Network, Path, build_paths
+from repro.topology.routing import RoutingMatrix, VirtualLink
+
+__all__ = [
+    "Link",
+    "Network",
+    "Path",
+    "RoutingMatrix",
+    "VirtualLink",
+    "assert_no_fluttering",
+    "build_paths",
+    "find_fluttering_pairs",
+    "paths_flutter",
+    "remove_fluttering_paths",
+]

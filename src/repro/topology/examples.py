@@ -1,0 +1,97 @@
+"""The worked examples of Figures 1 and 2 of the paper.
+
+Figure 1 is a single-beacon tree whose reduced routing matrix the paper
+prints explicitly:
+
+    R = [[1 1 0 0 0]
+         [1 0 1 1 0]
+         [1 0 1 0 1]]
+
+(three paths from beacon B1 to D1, D2, D3 over five links); first-order
+moments cannot identify the five link rates from the three path rates.
+
+Figure 2 adds a second beacon: the aggregated routing topology has 6
+end-to-end paths over 8 directed links with ``rank(R) = 5``.  Our
+reconstruction reproduces those exact counts.
+
+Node numbering: 0=B1, 1=B2, 2..4 internal, 5=D1, 6=D2, 7=D3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topology.graph import Network, Path, build_paths
+
+B1 = 0
+B2 = 1
+N1 = 2
+N2 = 3
+N3 = 4
+D1 = 5
+D2 = 6
+D3 = 7
+
+
+def figure1_network() -> Network:
+    """The five-link tree of Figure 1: B1 -> n1 -> {D1, n2 -> {D2, D3}}."""
+    net = Network()
+    net.add_link(B1, N1)  # e1
+    net.add_link(N1, D1)  # e2
+    net.add_link(N1, N2)  # e3
+    net.add_link(N2, D2)  # e4
+    net.add_link(N2, D3)  # e5
+    return net
+
+
+def figure1_paths() -> Tuple[Network, List[Path]]:
+    """The three probing paths of Figure 1 (rows of the printed R)."""
+    net = figure1_network()
+    paths = build_paths(net, beacons=[B1], destinations=[D1, D2, D3])
+    return net, paths
+
+
+def figure1_rate_ambiguity() -> Tuple[List[float], List[float]]:
+    """Two link transmission-rate assignments indistinguishable from paths.
+
+    Indexed by link (e1..e5).  Assignment A puts all loss on the root link;
+    assignment B pushes it one hop downstream.  Both give every end-to-end
+    path a transmission rate of 0.9, demonstrating Figure 1's point.
+    """
+    assignment_a = [0.9, 1.0, 1.0, 1.0, 1.0]
+    assignment_b = [1.0, 0.9, 0.9, 1.0, 1.0]
+    return assignment_a, assignment_b
+
+
+def figure2_network() -> Network:
+    """A two-beacon topology with 8 covered links, 6 paths and rank(R)=5.
+
+    Layout::
+
+        B1 --a--> n1 --c--> n2 --d--> D1
+                             \\--e--> n3 --f--> D2
+                                        \\--g--> D3
+        B2 --b--> n1                 (reaches D1 through c, d)
+        B2 --h--> n3                 (reaches D2/D3 directly)
+
+    Every link is traversed by a distinct set of paths (no aliases), all 8
+    links are covered, and ``rank(R) = 5 < min(6, 8)`` — the same counts
+    the paper reports for its Figure 2.
+    """
+    net = Network()
+    net.add_link(B1, N1)  # a
+    net.add_link(B2, N1)  # b
+    net.add_link(N1, N2)  # c
+    net.add_link(N2, D1)  # d
+    net.add_link(N2, N3)  # e
+    net.add_link(N3, D2)  # f
+    net.add_link(N3, D3)  # g
+    net.add_link(B2, N3)  # h
+    return net
+
+
+def figure2_paths() -> Tuple[Network, List[Path]]:
+    """Canonical probing paths of the Figure 2 system (6 paths)."""
+    net = figure2_network()
+    paths = build_paths(net, beacons=[B1, B2], destinations=[D1, D2, D3])
+    return net, paths

@@ -1,0 +1,120 @@
+"""Route-fluttering detection (Assumption T.2 of the paper).
+
+Two paths *flutter* when they share two links without sharing all the links
+in between: they meet, diverge, and meet again.  Theorem 1 requires that no
+pair of probing paths flutters.  The paper removes fluttering paths from the
+routing matrix before inference (Section 7.1 removed 52 of 48 151 paths); we
+provide the same filter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.topology.graph import Path
+
+
+def shared_segments(path_a: Path, path_b: Path) -> List[List[int]]:
+    """Contiguous runs (in *path_a* order) of links shared with *path_b*.
+
+    Each run is returned as a list of physical link indices.  A single run
+    means the two paths meet once; two or more runs mean they flutter.
+    """
+    links_b: Set[int] = set(path_b.link_indices())
+    runs: List[List[int]] = []
+    current: List[int] = []
+    for link in path_a.links:
+        if link.index in links_b:
+            current.append(link.index)
+        elif current:
+            runs.append(current)
+            current = []
+    if current:
+        runs.append(current)
+    return runs
+
+
+def paths_flutter(path_a: Path, path_b: Path) -> bool:
+    """True when the pair violates Assumption T.2.
+
+    The shared links must be contiguous along *both* paths (a shared
+    contiguous segment of one path could be visited in scattered order by
+    the other in a pathological routing).
+    """
+    if len(shared_segments(path_a, path_b)) > 1:
+        return True
+    return len(shared_segments(path_b, path_a)) > 1
+
+
+def find_fluttering_pairs(paths: Sequence[Path]) -> List[Tuple[int, int]]:
+    """All fluttering pairs, as (row, row) index tuples with row_a < row_b.
+
+    Pairs that share at most one link can never flutter, so we first bucket
+    paths by link to avoid the quadratic scan over unrelated pairs.
+    """
+    by_link: Dict[int, List[int]] = {}
+    for i, path in enumerate(paths):
+        for link_index in path.link_indices():
+            by_link.setdefault(link_index, []).append(i)
+
+    candidate_pairs: Set[Tuple[int, int]] = set()
+    seen_once: Set[Tuple[int, int]] = set()
+    for rows in by_link.values():
+        for a_pos, a in enumerate(rows):
+            for b in rows[a_pos + 1 :]:
+                pair = (a, b)
+                if pair in seen_once:
+                    candidate_pairs.add(pair)  # shares >= 2 links
+                else:
+                    seen_once.add(pair)
+
+    flutters = [
+        pair
+        for pair in sorted(candidate_pairs)
+        if paths_flutter(paths[pair[0]], paths[pair[1]])
+    ]
+    return flutters
+
+
+def remove_fluttering_paths(paths: Sequence[Path]) -> Tuple[List[Path], List[int]]:
+    """Drop a minimal-ish set of paths so no fluttering pair remains.
+
+    Greedy: repeatedly remove the path involved in the most fluttering
+    pairs.  Mirrors the paper's pragmatic handling ("we keep only the
+    measurements on one path and ignore the others").  Returns the kept
+    paths (re-indexed 0..k-1) and the original indices of removed paths.
+    """
+    pairs = find_fluttering_pairs(paths)
+    removed: Set[int] = set()
+    while pairs:
+        counts: Dict[int, int] = {}
+        for a, b in pairs:
+            counts[a] = counts.get(a, 0) + 1
+            counts[b] = counts.get(b, 0) + 1
+        victim = max(sorted(counts), key=lambda i: counts[i])
+        removed.add(victim)
+        pairs = [p for p in pairs if victim not in p]
+
+    kept: List[Path] = []
+    for i, path in enumerate(paths):
+        if i in removed:
+            continue
+        kept.append(
+            Path(
+                index=len(kept),
+                source=path.source,
+                dest=path.dest,
+                links=path.links,
+            )
+        )
+    return kept, sorted(removed)
+
+
+def assert_no_fluttering(paths: Sequence[Path]) -> None:
+    """Raise ``ValueError`` when Assumption T.2 is violated."""
+    pairs = find_fluttering_pairs(paths)
+    if pairs:
+        raise ValueError(
+            f"routing violates Assumption T.2: {len(pairs)} fluttering "
+            f"path pairs, first {pairs[0]}"
+        )

@@ -1,0 +1,28 @@
+"""Topology generators used by the paper's evaluation (Section 6).
+
+Each generator returns a :class:`~repro.topology.generators.common.GeneratedTopology`
+bundling the directed network with beacons, destinations and annotations.
+"""
+
+from repro.topology.generators.barabasi_albert import barabasi_albert
+from repro.topology.generators.common import GeneratedTopology, select_end_hosts
+from repro.topology.generators.dimes import dimes_like
+from repro.topology.generators.hierarchical import (
+    hierarchical_bottom_up,
+    hierarchical_top_down,
+)
+from repro.topology.generators.planetlab import planetlab_like
+from repro.topology.generators.trees import random_tree
+from repro.topology.generators.waxman import waxman
+
+__all__ = [
+    "GeneratedTopology",
+    "barabasi_albert",
+    "dimes_like",
+    "hierarchical_bottom_up",
+    "hierarchical_top_down",
+    "planetlab_like",
+    "random_tree",
+    "select_end_hosts",
+    "waxman",
+]

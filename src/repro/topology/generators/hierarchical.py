@@ -1,0 +1,145 @@
+"""BRITE-style hierarchical topologies (top-down and bottom-up).
+
+BRITE's hierarchical models compose an AS-level graph with router-level
+graphs:
+
+* **top-down** — generate the AS-level graph first (Waxman here), then a
+  router-level graph inside each AS, then realise each AS-level edge as a
+  router-to-router border link;
+* **bottom-up** — generate one flat router-level graph first, then group
+  routers into ASes by spatial proximity, so AS shapes emerge from the
+  router mesh rather than being imposed.
+
+Both return ``as_of_node`` so the AS-location analysis (Table 3) and the
+addressing substrate can label links inter- vs intra-AS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.topology.generators.common import (
+    GeneratedTopology,
+    connect_components,
+    select_end_hosts,
+    undirected_edges_to_network,
+)
+from repro.topology.generators.waxman import waxman_growth_edges
+from repro.utils.rng import SeedLike, as_rng
+
+
+def _waxman_edges(
+    rng: np.random.Generator,
+    xy: np.ndarray,
+    alpha: float,
+    beta: float,
+    links_per_node: int = 2,
+) -> List[Tuple[int, int]]:
+    """BRITE-style grown Waxman edges; falls back to a path for tiny n."""
+    n = len(xy)
+    if n < 2:
+        return []
+    if n < links_per_node + 2:
+        return [(i, i + 1) for i in range(n - 1)]
+    return waxman_growth_edges(rng, xy, links_per_node, alpha, beta)
+
+
+def hierarchical_top_down(
+    num_ases: int = 20,
+    routers_per_as: int = 50,
+    num_end_hosts: int = 60,
+    as_alpha: float = 0.4,
+    as_beta: float = 0.3,
+    router_alpha: float = 0.3,
+    router_beta: float = 0.25,
+    seed: SeedLike = None,
+    name: str = "hierarchical-td",
+) -> GeneratedTopology:
+    """Top-down hierarchy: AS-level Waxman, per-AS router-level Waxman.
+
+    Each AS-level edge becomes one router-to-router border link between
+    uniformly chosen routers of the two ASes.
+    """
+    if num_ases < 2:
+        raise ValueError("need at least two ASes")
+    if routers_per_as < 2:
+        raise ValueError("need at least two routers per AS")
+    rng = as_rng(seed)
+
+    as_xy = rng.random((num_ases, 2))
+    as_edges = _waxman_edges(rng, as_xy, as_alpha, as_beta)
+
+    edges: List[Tuple[int, int]] = []
+    as_of_node: Dict[int, int] = {}
+    base_of_as: List[int] = []
+    next_node = 0
+    for asn in range(num_ases):
+        base_of_as.append(next_node)
+        router_xy = rng.random((routers_per_as, 2))
+        for a, b in _waxman_edges(rng, router_xy, router_alpha, router_beta):
+            edges.append((next_node + a, next_node + b))
+        for r in range(routers_per_as):
+            as_of_node[next_node + r] = asn
+        next_node += routers_per_as
+
+    for as_a, as_b in as_edges:
+        ra = base_of_as[as_a] + int(rng.integers(routers_per_as))
+        rb = base_of_as[as_b] + int(rng.integers(routers_per_as))
+        edges.append((ra, rb))
+
+    num_nodes = num_ases * routers_per_as
+    edges = connect_components(num_nodes, edges, rng)
+    net = undirected_edges_to_network(num_nodes, edges)
+    hosts = select_end_hosts(net, num_end_hosts)
+    return GeneratedTopology(
+        name=name,
+        network=net,
+        beacons=list(hosts),
+        destinations=list(hosts),
+        as_of_node=as_of_node,
+    )
+
+
+def hierarchical_bottom_up(
+    num_nodes: int = 1000,
+    num_ases: int = 20,
+    num_end_hosts: int = 60,
+    alpha: float = 0.15,
+    beta: float = 0.2,
+    seed: SeedLike = None,
+    name: str = "hierarchical-bu",
+) -> GeneratedTopology:
+    """Bottom-up hierarchy: flat router Waxman, ASes by spatial clustering.
+
+    Routers are assigned to the nearest of ``num_ases`` uniformly drawn AS
+    centres, so contiguous spatial regions become ASes and the border/
+    internal link mix emerges from the mesh.
+    """
+    if num_ases < 2:
+        raise ValueError("need at least two ASes")
+    if num_nodes < num_ases:
+        raise ValueError("need at least one router per AS")
+    rng = as_rng(seed)
+    xy = rng.random((num_nodes, 2))
+    edges = _waxman_edges(rng, xy, alpha, beta)
+    net = undirected_edges_to_network(num_nodes, edges)
+
+    centres = rng.random((num_ases, 2))
+    dist = np.hypot(
+        xy[:, None, 0] - centres[None, :, 0], xy[:, None, 1] - centres[None, :, 1]
+    )
+    assignment = np.argmin(dist, axis=1)
+    as_of_node = {i: int(assignment[i]) for i in range(num_nodes)}
+
+    hosts = select_end_hosts(net, num_end_hosts)
+    positions = {i: (float(xy[i, 0]), float(xy[i, 1])) for i in range(num_nodes)}
+    return GeneratedTopology(
+        name=name,
+        network=net,
+        beacons=list(hosts),
+        destinations=list(hosts),
+        as_of_node=as_of_node,
+        positions=positions,
+    )

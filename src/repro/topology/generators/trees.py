@@ -1,0 +1,74 @@
+"""Random tree topologies (Section 6.1 of the paper).
+
+The paper's first simulation uses "tree topologies of 1000 unique nodes,
+with the maximum branching ratio of 10.  The beacon is located at the root
+and the probing destinations are the leaves."  Links point downstream
+(root -> leaves) because probes flow that way; every internal node has at
+least two children by construction, so the tree is already alias-free,
+matching the reduced form assumed in Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.generators.common import GeneratedTopology
+from repro.topology.graph import Network
+from repro.utils.rng import SeedLike, as_rng
+
+
+def random_tree(
+    num_nodes: int = 1000,
+    max_branching: int = 10,
+    min_branching: int = 2,
+    seed: SeedLike = None,
+    name: str = "tree",
+) -> GeneratedTopology:
+    """Grow a rooted tree by giving each expandable node 2..max children.
+
+    Growth is breadth-first: we keep a frontier of leaves and repeatedly
+    expand the oldest leaf with a uniformly drawn number of children
+    (clipped so we land exactly on *num_nodes* total nodes).  Internal
+    nodes therefore always have >= ``min_branching`` children, so no alias
+    chains exist, and the maximum branching ratio is respected.
+    """
+    if num_nodes < 3:
+        raise ValueError("a probing tree needs a root and at least two leaves")
+    if not 2 <= min_branching <= max_branching:
+        raise ValueError(
+            f"need 2 <= min_branching <= max_branching, got "
+            f"{min_branching}..{max_branching}"
+        )
+    rng = as_rng(seed)
+    net = Network()
+    root = net.add_node(0)
+    next_id = 1
+    frontier: List[int] = [root]
+    cursor = 0
+    while next_id < num_nodes:
+        node = frontier[cursor]
+        remaining = num_nodes - next_id
+        fanout = int(rng.integers(min_branching, max_branching + 1))
+        fanout = min(fanout, remaining)
+        # Never leave exactly one node for later: a lone child would form
+        # an alias chain.  Shrink the draw when possible, grow it otherwise
+        # (growth can exceed max_branching by one only in tiny trees).
+        if remaining - fanout == 1:
+            if fanout > min_branching:
+                fanout -= 1
+            else:
+                fanout += 1
+        for _ in range(fanout):
+            child = net.add_node(next_id)
+            net.add_link(node, child)
+            frontier.append(child)
+            next_id += 1
+        cursor += 1
+
+    leaves = [n for n in net.nodes() if net.out_degree(n) == 0]
+    return GeneratedTopology(
+        name=name,
+        network=net,
+        beacons=[root],
+        destinations=leaves,
+    )

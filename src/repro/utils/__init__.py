@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG plumbing, text tables, and logging."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.tables import TextTable
+
+__all__ = ["as_rng", "spawn_rngs", "TextTable"]

@@ -1,0 +1,73 @@
+"""Minimal fixed-width text tables for experiment reports.
+
+The experiment harness prints the same rows the paper's tables and figure
+series report.  We keep rendering dependency-free and deterministic so the
+output can be diffed between runs and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+class TextTable:
+    """Accumulate rows and render an aligned, pipe-separated table.
+
+    Example
+    -------
+    >>> t = TextTable(["topology", "DR", "FPR"])
+    >>> t.add_row(["tree", 0.95, 0.02])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    topology | DR     | FPR
+    ---------+--------+-------
+    tree     | 0.9500 | 0.0200
+    """
+
+    def __init__(self, headers: Sequence[str], float_fmt: str = "{:.4f}"):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.float_fmt = float_fmt
+        self._rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[Cell]) -> None:
+        cells = [_format_cell(c, self.float_fmt) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append(cells)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header.rstrip(), rule]
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        header = "| " + " | ".join(self.headers) + " |"
+        rule = "|" + "|".join(" --- " for _ in self.headers) + "|"
+        lines = [header, rule]
+        for row in self._rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Shared fixtures: small topologies and pre-simulated campaigns.
+
+Campaign simulation is the expensive part of the integration tests, so
+the module-scoped fixtures run it once and the tests share the result
+read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    LossInferenceAlgorithm,
+    ProberConfig,
+    ProbingSimulator,
+    RoutingMatrix,
+    build_paths,
+    random_tree,
+)
+from repro.topology.examples import figure1_paths, figure2_paths
+from repro.topology.generators import planetlab_like
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    net, paths = figure1_paths()
+    return net, paths, RoutingMatrix.from_paths(paths)
+
+
+@pytest.fixture(scope="session")
+def figure2():
+    net, paths = figure2_paths()
+    return net, paths, RoutingMatrix.from_paths(paths)
+
+
+@pytest.fixture(scope="session")
+def small_tree():
+    """A 120-node tree with paths and routing matrix (deterministic)."""
+    topo = random_tree(num_nodes=120, seed=1234)
+    paths = build_paths(topo.network, topo.beacons, topo.destinations)
+    routing = RoutingMatrix.from_paths(paths)
+    return topo, paths, routing
+
+
+@pytest.fixture(scope="session")
+def tree_campaign(small_tree):
+    """21 snapshots over the small tree, fixed truth, packet fidelity."""
+    topo, paths, routing = small_tree
+    config = ProberConfig(probes_per_snapshot=400, congestion_probability=0.12)
+    simulator = ProbingSimulator(
+        paths, topo.network.num_links, config=config
+    )
+    campaign = simulator.run_campaign(21, routing, seed=99)
+    return campaign
+
+
+@pytest.fixture(scope="session")
+def small_mesh():
+    """A PlanetLab-like mesh with paths and routing matrix."""
+    topo = planetlab_like(num_sites=8, seed=77)
+    paths = build_paths(topo.network, topo.beacons, topo.destinations)
+    routing = RoutingMatrix.from_paths(paths)
+    return topo, paths, routing

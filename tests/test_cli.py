@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestAudit:
+    def test_tree_audit_exits_zero(self, capsys):
+        code = main(["audit", "--topology", "tree", "--size", "60", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "variances identifiable: True" in out
+
+    @pytest.mark.parametrize(
+        "kind", ["planetlab", "dimes", "barabasi-albert", "waxman"]
+    )
+    def test_mesh_audits(self, kind, capsys):
+        code = main(
+            ["audit", "--topology", kind, "--size", "80", "--hosts", "8",
+             "--seed", "2"]
+        )
+        assert code == 0
+
+
+class TestSimulateInfer:
+    def test_round_trip(self, tmp_path, capsys):
+        doc = tmp_path / "campaign.json"
+        code = main(
+            [
+                "simulate", "--topology", "tree", "--size", "80",
+                "--snapshots", "12", "--probes", "300", "--seed", "3",
+                "--out", str(doc),
+            ]
+        )
+        assert code == 0
+        assert doc.exists()
+
+        code = main(["infer", str(doc), "--threshold", "0.002"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trained on 11 snapshots" in out
+
+    def test_infer_finds_congested(self, tmp_path, capsys):
+        doc = tmp_path / "campaign.json"
+        main(
+            [
+                "simulate", "--topology", "tree", "--size", "100",
+                "--snapshots", "16", "--probes", "400",
+                "--congestion", "0.15", "--seed", "4", "--out", str(doc),
+            ]
+        )
+        capsys.readouterr()
+        main(["infer", str(doc)])
+        out = capsys.readouterr().out
+        assert "links above t_l" in out
+        # With 15% congestion, some links should be reported.
+        count = int(out.split(" links above")[0].rsplit(" ", 1)[-1])
+        assert count >= 1
+
+    def test_internet_model_and_propensity(self, tmp_path):
+        doc = tmp_path / "c.json"
+        code = main(
+            [
+                "simulate", "--topology", "planetlab", "--hosts", "8",
+                "--snapshots", "8", "--probes", "200",
+                "--model", "internet", "--truth-mode", "propensity",
+                "--seed", "5", "--out", str(doc),
+            ]
+        )
+        assert code == 0
+        assert main(["infer", str(doc)]) == 0

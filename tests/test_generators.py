@@ -1,0 +1,144 @@
+"""Tests for the topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import (
+    barabasi_albert,
+    dimes_like,
+    hierarchical_bottom_up,
+    hierarchical_top_down,
+    planetlab_like,
+    random_tree,
+    select_end_hosts,
+    waxman,
+)
+from repro.topology.graph import build_paths
+
+ALL_MESH = [
+    lambda seed: waxman(num_nodes=120, num_end_hosts=12, seed=seed),
+    lambda seed: barabasi_albert(num_nodes=120, num_end_hosts=12, seed=seed),
+    lambda seed: hierarchical_top_down(
+        num_ases=6, routers_per_as=15, num_end_hosts=12, seed=seed
+    ),
+    lambda seed: hierarchical_bottom_up(
+        num_nodes=120, num_end_hosts=12, seed=seed
+    ),
+    lambda seed: planetlab_like(num_sites=8, seed=seed),
+    lambda seed: dimes_like(num_ases=25, num_hosts=12, seed=seed),
+]
+
+
+class TestRandomTree:
+    def test_node_count_exact(self):
+        for n in (10, 57, 300):
+            topo = random_tree(num_nodes=n, seed=1)
+            assert topo.network.num_nodes == n
+            assert topo.network.num_links == n - 1
+
+    def test_branching_bounds(self):
+        topo = random_tree(num_nodes=400, max_branching=10, seed=2)
+        net = topo.network
+        internal = [v for v in net.nodes() if net.out_degree(v) > 0]
+        fanouts = [net.out_degree(v) for v in internal]
+        assert min(fanouts) >= 2  # no alias chains
+        assert max(fanouts) <= 11  # max_branching, +1 straggler allowance
+
+    def test_destinations_are_leaves(self):
+        topo = random_tree(num_nodes=100, seed=3)
+        assert all(topo.network.out_degree(d) == 0 for d in topo.destinations)
+        assert topo.beacons == [0]
+
+    def test_deterministic_with_seed(self):
+        a = random_tree(num_nodes=80, seed=5)
+        b = random_tree(num_nodes=80, seed=5)
+        assert [l.endpoints() for l in a.network.links] == [
+            l.endpoints() for l in b.network.links
+        ]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_tree(num_nodes=2)
+
+    def test_all_leaves_reachable(self):
+        topo = random_tree(num_nodes=150, seed=6)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        assert len(paths) == len(topo.destinations)
+
+
+class TestMeshGenerators:
+    @pytest.mark.parametrize("factory", ALL_MESH)
+    def test_all_hosts_mutually_reachable(self, factory):
+        topo = factory(11)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        expected = len(topo.beacons) * (len(topo.destinations) - 1)
+        assert len(paths) == expected
+
+    @pytest.mark.parametrize("factory", ALL_MESH)
+    def test_deterministic_with_seed(self, factory):
+        a, b = factory(21), factory(21)
+        assert [l.endpoints() for l in a.network.links] == [
+            l.endpoints() for l in b.network.links
+        ]
+        assert a.beacons == b.beacons
+
+    @pytest.mark.parametrize("factory", ALL_MESH)
+    def test_different_seeds_differ(self, factory):
+        a, b = factory(1), factory(2)
+        ea = [l.endpoints() for l in a.network.links]
+        eb = [l.endpoints() for l in b.network.links]
+        assert ea != eb
+
+    def test_waxman_sparse(self):
+        topo = waxman(num_nodes=200, links_per_node=2, num_end_hosts=10, seed=4)
+        # Grown model: ~2 undirected edges per node -> ~4 directed per node.
+        assert topo.network.num_links < 200 * 6
+
+    def test_barabasi_albert_has_hubs(self):
+        topo = barabasi_albert(num_nodes=300, num_end_hosts=10, seed=4)
+        degrees = sorted(
+            topo.network.degree(v) for v in topo.network.nodes()
+        )
+        assert degrees[-1] > 5 * degrees[len(degrees) // 2]
+
+    def test_hierarchical_as_annotations(self):
+        topo = hierarchical_top_down(
+            num_ases=5, routers_per_as=10, num_end_hosts=8, seed=9
+        )
+        assert set(topo.as_of_node.values()) == set(range(5))
+        assert len(topo.as_of_node) == topo.network.num_nodes
+
+    def test_bottom_up_as_from_clustering(self):
+        topo = hierarchical_bottom_up(
+            num_nodes=100, num_ases=4, num_end_hosts=8, seed=9
+        )
+        assert len(set(topo.as_of_node.values())) <= 4
+
+    def test_planetlab_sites_have_own_as(self):
+        topo = planetlab_like(num_sites=6, seed=1)
+        host_ases = {topo.as_of_node[h] for h in topo.beacons}
+        assert len(host_ases) == 6  # one AS per site
+        assert 0 not in host_ases  # backbone AS is separate
+
+    def test_dimes_hosts_in_stub_ases(self):
+        topo = dimes_like(num_ases=30, num_hosts=10, seed=2)
+        assert len(topo.beacons) == 10
+        assert topo.as_of_node  # annotated
+
+
+class TestSelectEndHosts:
+    def test_picks_lowest_degree(self):
+        topo = barabasi_albert(num_nodes=100, num_end_hosts=5, seed=3)
+        hosts = select_end_hosts(topo.network, 5)
+        host_max = max(topo.network.degree(h) for h in hosts)
+        others = [
+            topo.network.degree(v)
+            for v in topo.network.nodes()
+            if v not in hosts
+        ]
+        assert host_max <= min(others)
+
+    def test_too_many_requested(self):
+        topo = random_tree(num_nodes=10, seed=1)
+        with pytest.raises(ValueError):
+            select_end_hosts(topo.network, 100)

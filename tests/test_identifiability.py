@@ -1,0 +1,67 @@
+"""Tests for the identifiability audits (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.identifiability import (
+    audit_identifiability,
+    duplicate_column_pairs,
+    theoretical_variance_from_truth,
+    verify_theorem1,
+)
+from repro.topology.routing import RoutingMatrix
+
+
+class TestAudit:
+    def test_figure1_audit(self, figure1):
+        _, paths, routing = figure1
+        report = audit_identifiability(routing, paths)
+        assert not report.means_identifiable  # the paper's starting point
+        assert report.variances_identifiable  # Theorem 1
+        assert report.assumptions_hold
+        assert "variances identifiable: True" in report.summary()
+
+    def test_figure2_audit(self, figure2):
+        _, paths, routing = figure2
+        report = audit_identifiability(routing, paths)
+        assert report.routing_rank == 5
+        assert report.augmented_rank == 8
+        assert report.variances_identifiable
+
+    def test_tree_audit(self, small_tree):
+        _, paths, routing = small_tree
+        report = audit_identifiability(routing, paths)
+        assert report.variances_identifiable
+        assert not report.fluttering_pairs
+
+    def test_mesh_audit(self, small_mesh):
+        _, paths, routing = small_mesh
+        report = audit_identifiability(routing, paths)
+        assert report.variances_identifiable
+
+    def test_duplicate_columns_detected(self):
+        M = np.array([[1, 1, 0], [1, 1, 1]], dtype=np.uint8)
+        assert duplicate_column_pairs(M) == [(0, 1)]
+
+    def test_theorem1_on_examples(self, figure1, figure2, small_tree):
+        for _, paths, routing in (figure1, figure2, small_tree):
+            assert verify_theorem1(routing, paths)
+
+
+class TestTheoreticalVariance:
+    def test_matches_numpy_var(self, figure1):
+        _, _, routing = figure1
+        X = np.random.default_rng(0).normal(size=(30, routing.num_links))
+        expected = X.var(axis=0, ddof=1)
+        assert np.allclose(
+            theoretical_variance_from_truth(routing, X), expected
+        )
+
+    def test_shape_validation(self, figure1):
+        _, _, routing = figure1
+        with pytest.raises(ValueError):
+            theoretical_variance_from_truth(routing, np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            theoretical_variance_from_truth(
+                routing, np.ones((1, routing.num_links))
+            )

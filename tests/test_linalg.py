@@ -1,0 +1,130 @@
+"""Tests for the dense linear-algebra kernels (cross-checked vs numpy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.linalg import (
+    IncrementalColumnBasis,
+    back_substitution,
+    greedy_independent_columns,
+    householder_qr,
+    qr_column_rank,
+    solve_least_squares_qr,
+)
+
+
+def random_matrix(m, n, seed):
+    return np.random.default_rng(seed).normal(size=(m, n))
+
+
+class TestHouseholderQR:
+    @pytest.mark.parametrize("shape", [(5, 5), (10, 4), (30, 7)])
+    def test_reconstruction(self, shape):
+        A = random_matrix(*shape, seed=0)
+        Q, R = householder_qr(A)
+        assert np.allclose(Q @ R, A, atol=1e-10)
+
+    def test_q_orthonormal(self):
+        A = random_matrix(20, 6, seed=1)
+        Q, _ = householder_qr(A)
+        assert np.allclose(Q.T @ Q, np.eye(6), atol=1e-10)
+
+    def test_r_upper_triangular(self):
+        A = random_matrix(8, 8, seed=2)
+        _, R = householder_qr(A)
+        assert np.allclose(R, np.triu(R))
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            householder_qr(random_matrix(3, 5, seed=3))
+
+    def test_zero_column_survives(self):
+        A = random_matrix(6, 3, seed=4)
+        A[:, 1] = 0.0
+        Q, R = householder_qr(A)
+        assert np.allclose(Q @ R, A, atol=1e-10)
+
+
+class TestBackSubstitution:
+    def test_solves_triangular_system(self):
+        U = np.triu(random_matrix(6, 6, seed=5)) + 3 * np.eye(6)
+        x = np.arange(1.0, 7.0)
+        assert np.allclose(back_substitution(U, U @ x), x)
+
+    def test_zero_pivot_gives_zero_component(self):
+        U = np.array([[1.0, 2.0], [0.0, 0.0]])
+        x = back_substitution(U, np.array([3.0, 0.0]))
+        assert x[1] == 0.0
+        assert x[0] == pytest.approx(3.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            back_substitution(np.ones((2, 3)), np.ones(2))
+
+
+class TestLeastSquares:
+    @pytest.mark.parametrize("shape", [(10, 3), (50, 10), (7, 7)])
+    def test_matches_numpy_lstsq(self, shape):
+        A = random_matrix(*shape, seed=6)
+        b = random_matrix(shape[0], 1, seed=7).ravel()
+        ours = solve_least_squares_qr(A, b)
+        theirs, *_ = np.linalg.lstsq(A, b, rcond=None)
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    def test_exact_system(self):
+        A = random_matrix(5, 5, seed=8)
+        x = np.ones(5)
+        assert np.allclose(solve_least_squares_qr(A, A @ x), x)
+
+
+class TestRank:
+    def test_full_rank(self):
+        assert qr_column_rank(random_matrix(10, 4, seed=9)) == 4
+
+    def test_deficient(self):
+        A = random_matrix(10, 3, seed=10)
+        B = np.hstack([A, A[:, :1] + A[:, 1:2]])
+        assert qr_column_rank(B) == 3
+
+    def test_matches_numpy(self, figure2):
+        _, _, routing = figure2
+        R = routing.to_dense()
+        assert qr_column_rank(R) == np.linalg.matrix_rank(R)
+
+
+class TestGreedyColumns:
+    def test_spans_column_space(self):
+        A = random_matrix(8, 4, seed=11)
+        B = np.hstack([A, A @ random_matrix(4, 3, seed=12)])  # 3 dependent
+        kept = greedy_independent_columns(B, list(range(7)))
+        assert len(kept) == 4
+        assert np.linalg.matrix_rank(B[:, kept]) == 4
+
+    def test_priority_respected(self):
+        A = np.eye(3)
+        B = np.hstack([A, A])  # duplicates
+        kept = greedy_independent_columns(B, [3, 4, 5, 0, 1, 2])
+        assert kept == [3, 4, 5]
+
+    def test_zero_column_skipped(self):
+        A = np.zeros((3, 2))
+        A[:, 1] = 1.0
+        assert greedy_independent_columns(A, [0, 1]) == [1]
+
+    def test_incremental_basis_rank(self):
+        basis = IncrementalColumnBasis(dimension=5)
+        rng = np.random.default_rng(13)
+        added = sum(basis.try_add(rng.normal(size=5)) for _ in range(10))
+        assert added == 5
+        assert basis.rank == 5
+
+    def test_basis_rejects_dependent(self):
+        basis = IncrementalColumnBasis(dimension=4)
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        assert basis.try_add(v)
+        assert not basis.try_add(2 * v)
+
+    def test_dimension_validation(self):
+        basis = IncrementalColumnBasis(dimension=3)
+        with pytest.raises(ValueError):
+            basis.try_add(np.ones(4))

@@ -1,0 +1,99 @@
+"""Statistical tests of the Gilbert and Bernoulli loss processes."""
+
+import numpy as np
+import pytest
+
+from repro.lossmodel import BernoulliProcess, GilbertProcess
+
+
+class TestGilbert:
+    def test_stationary_loss_rate_matches_target(self):
+        process = GilbertProcess()
+        rates = np.array([0.01, 0.05, 0.1, 0.2, 0.5])
+        states = process.sample_states(rates, 20_000, seed=0)
+        empirical = states.mean(axis=1)
+        assert np.allclose(empirical, rates, atol=0.02)
+
+    def test_transition_formula(self):
+        process = GilbertProcess(stay_bad=0.35)
+        # pi_bad = g2b / (g2b + 0.65) must equal the target rate.
+        rates = np.array([0.01, 0.1, 0.3])
+        g2b = process.good_to_bad(rates)
+        stationary = g2b / (g2b + (1 - 0.35))
+        assert np.allclose(stationary, rates)
+
+    def test_burstiness_exceeds_bernoulli(self):
+        """Gilbert snapshot loss fractions must vary more than Bernoulli's."""
+        rate = np.full(200, 0.1)
+        probes = 500
+        g = GilbertProcess().sample_states(rate, probes, seed=1).mean(axis=1)
+        b = BernoulliProcess().sample_states(rate, probes, seed=1).mean(axis=1)
+        assert g.var() > 1.3 * b.var()
+
+    def test_mean_burst_length(self):
+        process = GilbertProcess(stay_bad=0.35)
+        assert process.burst_length_mean() == pytest.approx(1 / 0.65)
+        states = process.sample_states(np.array([0.2]), 200_000, seed=2)[0]
+        # Measure empirical mean run length of bad states.
+        runs = []
+        count = 0
+        for s in states:
+            if s:
+                count += 1
+            elif count:
+                runs.append(count)
+                count = 0
+        assert np.mean(runs) == pytest.approx(1 / 0.65, rel=0.1)
+
+    def test_zero_rate_never_drops(self):
+        states = GilbertProcess().sample_states(np.array([0.0]), 1000, seed=3)
+        assert not states.any()
+
+    def test_extreme_rate_capped(self):
+        states = GilbertProcess().sample_states(np.array([1.0]), 1000, seed=4)
+        assert states.mean() > 0.95
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            GilbertProcess(stay_bad=1.0)
+        with pytest.raises(ValueError):
+            GilbertProcess().sample_states(np.array([0.5]), 0)
+        with pytest.raises(ValueError):
+            GilbertProcess().sample_states(np.array([1.5]), 10)
+
+    def test_seeded_reproducibility(self):
+        p = GilbertProcess()
+        a = p.sample_states(np.array([0.1, 0.2]), 100, seed=42)
+        b = p.sample_states(np.array([0.1, 0.2]), 100, seed=42)
+        assert np.array_equal(a, b)
+
+
+class TestBernoulli:
+    def test_loss_rate_matches(self):
+        rates = np.array([0.05, 0.2])
+        states = BernoulliProcess().sample_states(rates, 50_000, seed=0)
+        assert np.allclose(states.mean(axis=1), rates, atol=0.01)
+
+    def test_fraction_shortcut_matches_distribution(self):
+        rates = np.full(2000, 0.1)
+        fractions = BernoulliProcess().sample_loss_fractions(rates, 400, seed=1)
+        assert fractions.mean() == pytest.approx(0.1, abs=0.005)
+        # Binomial variance p(1-p)/n.
+        assert fractions.var() == pytest.approx(0.1 * 0.9 / 400, rel=0.2)
+
+    def test_no_memory(self):
+        """Consecutive Bernoulli states are uncorrelated (lag-1 autocorr ~0)."""
+        states = BernoulliProcess().sample_states(
+            np.array([0.3]), 100_000, seed=2
+        )[0].astype(float)
+        lag1 = np.corrcoef(states[:-1], states[1:])[0, 1]
+        assert abs(lag1) < 0.02
+
+    def test_gilbert_has_memory(self):
+        """Lag-1 autocorrelation ~= stay_bad - g2b (0.071 at rate 0.3)."""
+        states = GilbertProcess().sample_states(
+            np.array([0.3]), 200_000, seed=2
+        )[0].astype(float)
+        lag1 = np.corrcoef(states[:-1], states[1:])[0, 1]
+        expected = 0.35 - 0.65 * 0.3 / 0.7
+        assert lag1 == pytest.approx(expected, abs=0.02)

@@ -1,0 +1,111 @@
+"""Tests for loss-rate models and congestion assignment."""
+
+import numpy as np
+import pytest
+
+from repro.lossmodel import (
+    INTERNET,
+    LLRD1,
+    LLRD2,
+    LossRateModel,
+    draw_link_propensities,
+    draw_snapshot_truth,
+    persistent_congestion_truth,
+    truth_from_propensities,
+)
+
+
+class TestModels:
+    def test_llrd1_parameters_match_paper(self):
+        assert LLRD1.threshold == 0.002
+        assert LLRD1.good_range == (0.0, 0.002)
+        assert LLRD1.congested_range == (0.05, 0.2)
+
+    def test_llrd2_wide_range(self):
+        assert LLRD2.congested_range == (0.002, 1.0)
+
+    def test_draw_rates_respect_classes(self):
+        congested = np.array([True] * 50 + [False] * 50)
+        rates = LLRD1.draw_rates(congested, seed=0)
+        assert rates[:50].min() >= 0.05 and rates[:50].max() <= 0.2
+        assert rates[50:].max() <= 0.002
+
+    def test_classify_inverts_draw(self):
+        congested = np.random.default_rng(1).random(200) < 0.3
+        rates = LLRD1.draw_rates(congested, seed=2)
+        assert np.array_equal(LLRD1.classify(rates), congested)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            LossRateModel("x", 0.5, (0.9, 0.1), (0.1, 0.2))
+        with pytest.raises(ValueError):
+            LossRateModel("x", 1.5, (0.0, 0.1), (0.1, 0.2))
+
+    def test_internet_good_links_nearly_lossless(self):
+        assert INTERNET.good_range[1] <= 1e-4
+
+
+class TestSnapshotTruth:
+    def test_congestion_probability_respected(self):
+        truth = draw_snapshot_truth(20_000, 0.10, LLRD1, seed=0)
+        assert truth.congested.mean() == pytest.approx(0.10, abs=0.01)
+
+    def test_rates_match_marks(self):
+        truth = draw_snapshot_truth(1000, 0.2, LLRD1, seed=1)
+        assert np.array_equal(LLRD1.classify(truth.loss_rates), truth.congested)
+
+    def test_transmission_complement(self):
+        truth = draw_snapshot_truth(100, 0.1, LLRD1, seed=2)
+        assert np.allclose(truth.transmission_rates(), 1 - truth.loss_rates)
+
+    def test_zero_probability(self):
+        truth = draw_snapshot_truth(100, 0.0, LLRD1, seed=3)
+        assert not truth.congested.any()
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            draw_snapshot_truth(10, 1.5, LLRD1)
+
+
+class TestPersistence:
+    def test_full_persistence_keeps_marks(self):
+        base = draw_snapshot_truth(500, 0.1, LLRD1, seed=4)
+        evolved = persistent_congestion_truth(base, LLRD1, 0.0, seed=5)
+        assert np.array_equal(evolved.congested, base.congested)
+
+    def test_full_redraw_changes_marks(self):
+        base = draw_snapshot_truth(5000, 0.3, LLRD1, seed=6)
+        evolved = persistent_congestion_truth(base, LLRD1, 1.0, seed=7)
+        assert not np.array_equal(evolved.congested, base.congested)
+
+    def test_rates_redrawn_within_class(self):
+        base = draw_snapshot_truth(500, 0.1, LLRD1, seed=8)
+        evolved = persistent_congestion_truth(base, LLRD1, 0.0, seed=9)
+        assert np.array_equal(
+            LLRD1.classify(evolved.loss_rates), evolved.congested
+        )
+
+
+class TestPropensities:
+    def test_trouble_fraction(self):
+        p = draw_link_propensities(50_000, 0.1, seed=0)
+        assert (p > 0).mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_range_respected(self):
+        p = draw_link_propensities(10_000, 0.5, (0.3, 0.9), seed=1)
+        active = p[p > 0]
+        assert active.min() >= 0.3 and active.max() <= 0.9
+
+    def test_truth_follows_propensities(self):
+        p = np.zeros(10_000)
+        p[:5000] = 0.5
+        marks = np.zeros(10_000)
+        for seed in range(20):
+            truth = truth_from_propensities(p, LLRD1, seed=seed)
+            marks += truth.congested
+        assert marks[:5000].mean() / 20 == pytest.approx(0.5, abs=0.05)
+        assert marks[5000:].sum() == 0
+
+    def test_invalid_propensities(self):
+        with pytest.raises(ValueError):
+            truth_from_propensities(np.array([1.5]), LLRD1)

@@ -1,0 +1,165 @@
+"""Tests for the online monitor and the JSON storage seam."""
+
+import numpy as np
+import pytest
+
+from repro import ProberConfig, ProbingSimulator
+from repro.io import (
+    CampaignDocument,
+    document_from_dict,
+    document_to_dict,
+    load_campaign,
+    save_campaign,
+)
+from repro.monitor import OnlineLossMonitor
+from repro.probing import MeasurementCampaign
+
+
+@pytest.fixture(scope="module")
+def monitored_stream(small_tree):
+    """A warm-up stream plus a congestion flip for event testing."""
+    topo, paths, routing = small_tree
+    config = ProberConfig(probes_per_snapshot=400, congestion_probability=0.1)
+    simulator = ProbingSimulator(paths, topo.network.num_links, config=config)
+    calm = simulator.run_campaign(14, routing, seed=31, truth_mode="fixed")
+    return topo, paths, routing, simulator, calm
+
+
+class TestMonitor:
+    def test_warms_up_then_localizes(self, monitored_stream):
+        topo, paths, routing, simulator, calm = monitored_stream
+        monitor = OnlineLossMonitor(
+            routing, window=10, refresh_interval=3, localize_always=True
+        )
+        reports = [monitor.observe(s) for s in calm.snapshots]
+        assert not any(r.loss_rates is not None for r in reports[:9])
+        assert monitor.is_warm
+        assert reports[-1].loss_rates is not None
+
+    def test_detects_persistent_congestion(self, monitored_stream):
+        topo, paths, routing, simulator, calm = monitored_stream
+        monitor = OnlineLossMonitor(
+            routing, window=10, refresh_interval=3, localize_always=True
+        )
+        for snap in calm.snapshots:
+            monitor.observe(snap)
+        truth = calm[-1].virtual_congested(routing)
+        flagged = set(monitor.currently_congested())
+        actual = set(int(c) for c in np.flatnonzero(truth))
+        if actual:
+            overlap = len(flagged & actual) / len(actual)
+            assert overlap >= 0.7
+
+    def test_onset_and_cleared_events(self, monitored_stream):
+        topo, paths, routing, simulator, calm = monitored_stream
+        monitor = OnlineLossMonitor(
+            routing, window=6, refresh_interval=2, localize_always=True
+        )
+        for snap in calm.snapshots:
+            monitor.observe(snap)
+        # A quiet network from here on: everything should clear.
+        from repro.lossmodel import SnapshotGroundTruth
+
+        quiet_truth = SnapshotGroundTruth(
+            congested=np.zeros(topo.network.num_links, dtype=bool),
+            loss_rates=np.zeros(topo.network.num_links),
+        )
+        cleared = []
+        for seed in range(6):
+            snap = simulator.run_snapshot(seed=1000 + seed, truth=quiet_truth)
+            report = monitor.observe(snap)
+            cleared.extend(e for e in report.events if e.kind == "cleared")
+        assert cleared
+        assert all(e.duration_snapshots >= 1 for e in cleared)
+        assert monitor.currently_congested() == []
+
+    def test_screening_flags_sudden_loss(self, monitored_stream):
+        topo, paths, routing, simulator, calm = monitored_stream
+        monitor = OnlineLossMonitor(routing, window=10, z_threshold=4.0)
+        for snap in calm.snapshots:
+            monitor.observe(snap)
+        # Craft a snapshot where one path collapses.
+        from repro.probing import Snapshot
+
+        rates = calm[-1].path_transmission.copy()
+        rates[0] = max(rates[0] - 0.5, 0.0)
+        report = monitor.observe(
+            Snapshot(path_transmission=rates, num_probes=400)
+        )
+        assert report.screened_anomalous
+        assert 0 in report.anomalous_paths
+
+    def test_validation(self, monitored_stream):
+        _, _, routing, _, _ = monitored_stream
+        with pytest.raises(ValueError):
+            OnlineLossMonitor(routing, window=1)
+        with pytest.raises(ValueError):
+            OnlineLossMonitor(routing, refresh_interval=0)
+        with pytest.raises(ValueError):
+            OnlineLossMonitor(routing, z_threshold=0)
+
+
+class TestSerialization:
+    def test_round_trip(self, small_tree, tree_campaign, tmp_path):
+        topo, paths, routing = small_tree
+        document = CampaignDocument(
+            network=topo.network,
+            beacons=topo.beacons,
+            destinations=topo.destinations,
+            paths=paths,
+            snapshots=list(tree_campaign.snapshots),
+        )
+        target = tmp_path / "campaign.json"
+        save_campaign(document, target)
+        loaded = load_campaign(target)
+
+        assert loaded.network.num_links == topo.network.num_links
+        assert [p.link_indices() for p in loaded.paths] == [
+            p.link_indices() for p in paths
+        ]
+        for original, restored in zip(
+            tree_campaign.snapshots, loaded.snapshots
+        ):
+            assert np.allclose(
+                original.path_transmission, restored.path_transmission
+            )
+        # The reloaded document reproduces the same routing matrix.
+        assert np.array_equal(loaded.routing().matrix, routing.matrix)
+
+    def test_lia_runs_on_loaded_document(
+        self, small_tree, tree_campaign, tmp_path
+    ):
+        topo, paths, routing = small_tree
+        document = CampaignDocument(
+            network=topo.network,
+            beacons=topo.beacons,
+            destinations=topo.destinations,
+            paths=paths,
+            snapshots=list(tree_campaign.snapshots),
+        )
+        target = tmp_path / "campaign.json"
+        save_campaign(document, target)
+        loaded = load_campaign(target)
+
+        from repro import LossInferenceAlgorithm
+
+        result = LossInferenceAlgorithm(loaded.routing()).run(loaded.campaign())
+        assert result.num_links == routing.num_links
+
+    def test_format_tag_checked(self):
+        with pytest.raises(ValueError, match="format"):
+            document_from_dict({"format": "something-else"})
+
+    def test_width_mismatch_rejected(self, small_tree, tree_campaign):
+        topo, paths, _ = small_tree
+        document = CampaignDocument(
+            network=topo.network,
+            beacons=topo.beacons,
+            destinations=topo.destinations,
+            paths=paths,
+            snapshots=list(tree_campaign.snapshots),
+        )
+        payload = document_to_dict(document)
+        payload["snapshots"][0]["path_transmission"] = [1.0]
+        with pytest.raises(ValueError, match="width"):
+            document_from_dict(payload)

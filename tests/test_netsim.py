@@ -1,0 +1,239 @@
+"""Tests for the measurement-plane substrates (addressing, AS, traceroute)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    AsMapper,
+    HostAllocator,
+    LongestPrefixTrie,
+    Prefix,
+    PrefixAllocator,
+    TracerouteConfig,
+    TracerouteSimulator,
+    build_address_plan,
+    build_measured_topology,
+    classify_congested_columns,
+    format_ipv4,
+    measure_topology,
+    parse_ipv4,
+    resolve_aliases,
+)
+from repro.topology.generators import planetlab_like, random_tree
+from repro.topology.graph import build_paths
+from repro.topology.routing import RoutingMatrix
+
+
+class TestAddressing:
+    def test_format_parse_round_trip(self):
+        for text in ("10.0.0.1", "172.16.254.3", "255.255.255.255", "0.0.0.0"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                parse_ipv4(bad)
+
+    def test_prefix_contains(self):
+        prefix = Prefix(parse_ipv4("10.1.0.0"), 16)
+        assert prefix.contains(parse_ipv4("10.1.200.3"))
+        assert not prefix.contains(parse_ipv4("10.2.0.1"))
+
+    def test_prefix_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(parse_ipv4("10.0.0.1"), 16)
+
+    def test_allocator_disjoint(self):
+        allocator = PrefixAllocator()
+        a, b = allocator.allocate(), allocator.allocate()
+        assert not a.contains(b.network)
+        assert not b.contains(a.network)
+
+    def test_host_allocator(self):
+        hosts = HostAllocator(Prefix(parse_ipv4("10.3.0.0"), 24))
+        first = hosts.allocate()
+        assert format_ipv4(first) == "10.3.0.1"
+        seen = {first}
+        for _ in range(100):
+            addr = hosts.allocate()
+            assert addr not in seen
+            seen.add(addr)
+
+    def test_host_exhaustion(self):
+        hosts = HostAllocator(Prefix(parse_ipv4("10.3.0.0"), 30))
+        hosts.allocate()
+        hosts.allocate()
+        with pytest.raises(RuntimeError):
+            hosts.allocate()
+
+
+class TestTrie:
+    def test_longest_match_wins(self):
+        trie = LongestPrefixTrie()
+        trie.insert(Prefix(parse_ipv4("10.0.0.0"), 8), "coarse")
+        trie.insert(Prefix(parse_ipv4("10.1.0.0"), 16), "fine")
+        assert trie.lookup(parse_ipv4("10.1.2.3")) == "fine"
+        assert trie.lookup(parse_ipv4("10.9.2.3")) == "coarse"
+
+    def test_miss_returns_none(self):
+        trie = LongestPrefixTrie()
+        trie.insert(Prefix(parse_ipv4("10.0.0.0"), 8), 1)
+        assert trie.lookup(parse_ipv4("11.0.0.1")) is None
+
+    def test_default_route(self):
+        trie = LongestPrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        assert trie.lookup(parse_ipv4("200.1.2.3")) == "default"
+
+    def test_items_round_trip(self):
+        trie = LongestPrefixTrie()
+        prefixes = [
+            (Prefix(parse_ipv4("10.0.0.0"), 8), 1),
+            (Prefix(parse_ipv4("10.128.0.0"), 9), 2),
+        ]
+        for p, v in prefixes:
+            trie.insert(p, v)
+        assert sorted(str(p) for p, _ in trie.items()) == sorted(
+            str(p) for p, _ in prefixes
+        )
+        assert len(trie) == 2
+
+
+class TestAsMapping:
+    def test_plan_assigns_every_node(self):
+        topo = planetlab_like(num_sites=5, seed=1)
+        plan = build_address_plan(topo)
+        assert set(plan.node_address) == set(topo.as_of_node)
+
+    def test_mapper_resolves_to_own_as(self):
+        topo = planetlab_like(num_sites=5, seed=2)
+        mapper, plan = AsMapper.from_topology(topo)
+        for node, asn in topo.as_of_node.items():
+            assert mapper.asn_of(plan.address_of(node)) == asn
+
+    def test_inter_as_classification(self):
+        topo = planetlab_like(num_sites=5, seed=3)
+        mapper, plan = AsMapper.from_topology(topo)
+        for link in topo.network.links:
+            expected = topo.as_of_node[link.tail] != topo.as_of_node[link.head]
+            got = mapper.link_is_inter_as(
+                plan.address_of(link.tail), plan.address_of(link.head)
+            )
+            assert got == expected
+
+    def test_unannotated_topology_rejected(self):
+        topo = random_tree(num_nodes=20, seed=1)
+        with pytest.raises(ValueError, match="AS annotations"):
+            build_address_plan(topo)
+
+    def test_breakdown_counts(self):
+        topo = planetlab_like(num_sites=5, seed=4)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        routing = RoutingMatrix.from_paths(paths)
+        mapper, plan = AsMapper.from_topology(topo)
+        breakdown = classify_congested_columns(
+            list(range(routing.num_links)), routing, mapper, plan
+        )
+        assert breakdown.total == routing.num_links
+        assert 0 < breakdown.inter_as < routing.num_links
+
+
+class TestTraceroute:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        topo = planetlab_like(num_sites=8, seed=5)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        sim = TracerouteSimulator(
+            topo.network, end_hosts=topo.end_hosts, seed=6
+        )
+        return topo, paths, sim
+
+    def test_hosts_always_respond(self, setup):
+        topo, _, sim = setup
+        assert all(sim.responds(h) for h in topo.end_hosts)
+
+    def test_non_response_rate_plausible(self, setup):
+        topo, _, sim = setup
+        routers = [
+            n for n in topo.network.nodes() if n not in set(topo.end_hosts)
+        ]
+        rate = np.mean([not sim.responds(r) for r in routers])
+        assert 0.0 <= rate <= 0.25
+
+    def test_multi_interface_addresses_differ(self, setup):
+        topo, _, sim = setup
+        multi = [n for n in topo.network.nodes() if sim.is_multi_interface(n)]
+        if not multi:
+            pytest.skip("no multi-interface router drawn at this seed")
+        node = multi[0]
+        neighbors = [l.tail for l in topo.network.in_links(node)]
+        addresses = {sim.interface_address(node, nb) for nb in neighbors[:3]}
+        assert len(addresses) == min(3, len(neighbors))
+
+    def test_single_interface_stable(self, setup):
+        topo, _, sim = setup
+        single = [
+            n for n in topo.network.nodes() if not sim.is_multi_interface(n)
+        ]
+        node = single[0]
+        neighbors = [l.tail for l in topo.network.in_links(node)]
+        addresses = {sim.interface_address(node, nb) for nb in neighbors}
+        assert addresses == {sim.canonical_address(node)}
+
+    def test_trace_covers_path(self, setup):
+        _, paths, sim = setup
+        record = sim.trace(paths[0])
+        assert len(record.hops) == paths[0].length
+        assert [h.true_router for h in record.hops] == [
+            l.head for l in paths[0].links
+        ]
+
+
+class TestMeasuredTopology:
+    def test_full_recall_no_splits(self):
+        topo = planetlab_like(num_sites=6, seed=7)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        sim = TracerouteSimulator(
+            topo.network,
+            config=TracerouteConfig(no_response_rate=0.0),
+            end_hosts=topo.end_hosts,
+            seed=8,
+        )
+        records = sim.trace_all(paths)
+        resolution = resolve_aliases(sim, records, recall=1.0, seed=9)
+        measured = build_measured_topology(sim, paths, records, resolution)
+        assert measured.num_split_routers == 0
+        assert measured.num_anonymous_nodes == 0
+        # Perfect measurement: same node/link counts as the covered truth.
+        covered_nodes = {p.source for p in paths} | {
+            l.head for p in paths for l in p.links
+        }
+        assert measured.network.num_nodes == len(covered_nodes)
+
+    def test_imperfect_measurement_inflates_topology(self):
+        topo = planetlab_like(num_sites=6, seed=7)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        measured = measure_topology(
+            topo.network, paths, end_hosts=topo.end_hosts, recall=0.3, seed=10
+        )
+        assert measured.num_split_routers + measured.num_anonymous_nodes > 0
+
+    def test_paths_align_one_to_one(self):
+        topo = planetlab_like(num_sites=6, seed=11)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        measured = measure_topology(
+            topo.network, paths, end_hosts=topo.end_hosts, seed=12
+        )
+        assert len(measured.paths) == len(paths)
+        for true, meas in zip(paths, measured.paths):
+            assert meas.length == true.length
+
+    def test_link_mapping_covers_all_measured_links(self):
+        topo = planetlab_like(num_sites=6, seed=13)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        measured = measure_topology(
+            topo.network, paths, end_hosts=topo.end_hosts, seed=14
+        )
+        assert set(measured.true_link_of_measured) == set(
+            range(measured.network.num_links)
+        )

@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The headline property is Theorem 1 itself: for every topology our
+generators produce (trees and meshes, any size/seed), the augmented
+matrix has full column rank — the variances are identifiable — even
+though the routing matrix itself is rank deficient.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.augmented import (
+    augmented_rank,
+    intersecting_pairs,
+    num_pair_rows,
+    pair_from_row_index,
+    pair_row_index,
+)
+from repro.core.linalg import greedy_independent_columns, solve_least_squares_qr
+from repro.core.reduction import reduce_to_full_rank
+from repro.lossmodel import GilbertProcess
+from repro.topology.fluttering import find_fluttering_pairs
+from repro.topology.generators import planetlab_like, random_tree, waxman
+from repro.topology.graph import build_paths
+from repro.topology.routing import RoutingMatrix
+
+FAST = settings(max_examples=15, deadline=None)
+SLOW = settings(max_examples=8, deadline=None)
+
+
+class TestTheorem1:
+    @SLOW
+    @given(
+        num_nodes=st.integers(min_value=8, max_value=120),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_trees_identifiable(self, num_nodes, seed):
+        """Lemma 3: single-beacon trees always have full-rank A."""
+        topo = random_tree(num_nodes=num_nodes, seed=seed)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        routing = RoutingMatrix.from_paths(paths)
+        assert augmented_rank(routing.matrix) == routing.num_links
+
+    @SLOW
+    @given(
+        num_sites=st.integers(min_value=3, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_planetlab_meshes_identifiable(self, num_sites, seed):
+        """Theorem 1: multi-beacon meshes (T.2 holding) have full-rank A."""
+        topo = planetlab_like(num_sites=num_sites, seed=seed)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        if find_fluttering_pairs(paths):
+            return  # premises fail; theorem says nothing
+        routing = RoutingMatrix.from_paths(paths)
+        assert augmented_rank(routing.matrix) == routing.num_links
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_waxman_meshes_identifiable(self, seed):
+        topo = waxman(num_nodes=60, num_end_hosts=8, seed=seed)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        if find_fluttering_pairs(paths):
+            return
+        routing = RoutingMatrix.from_paths(paths)
+        assert augmented_rank(routing.matrix) == routing.num_links
+
+
+class TestPairIndexBijection:
+    @FAST
+    @given(n=st.integers(min_value=1, max_value=60))
+    def test_bijection(self, n):
+        rows = [
+            pair_row_index(i, j, n) for i in range(n) for j in range(i, n)
+        ]
+        assert sorted(rows) == list(range(num_pair_rows(n)))
+        for i in range(n):
+            for j in range(i, n):
+                assert pair_from_row_index(pair_row_index(i, j, n), n) == (i, j)
+
+
+class TestRoutingInvariants:
+    @FAST
+    @given(
+        num_nodes=st.integers(min_value=8, max_value=100),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_alias_reduction_is_sound(self, num_nodes, seed):
+        """Columns are distinct, non-zero, and partition the covered links."""
+        topo = random_tree(num_nodes=num_nodes, seed=seed)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        routing = RoutingMatrix.from_paths(paths)
+        R = routing.matrix
+        assert R.sum(axis=0).min() >= 1
+        assert len({R[:, c].tobytes() for c in range(R.shape[1])}) == R.shape[1]
+        members = [
+            m for v in routing.virtual_links for m in v.member_indices()
+        ]
+        assert len(members) == len(set(members))
+
+    @FAST
+    @given(
+        num_nodes=st.integers(min_value=8, max_value=100),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_paths_from_one_beacon_form_tree(self, num_nodes, seed):
+        topo = random_tree(num_nodes=num_nodes, seed=seed)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        assert find_fluttering_pairs(paths) == []
+
+
+class TestLinalgProperties:
+    @FAST
+    @given(
+        m=st.integers(min_value=3, max_value=20),
+        n=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_qr_least_squares_matches_numpy(self, m, n, seed):
+        if m < n:
+            m, n = n, m
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(m, n))
+        b = rng.normal(size=m)
+        ours = solve_least_squares_qr(A, b)
+        theirs, *_ = np.linalg.lstsq(A, b, rcond=None)
+        assert np.allclose(ours, theirs, atol=1e-6)
+
+    @FAST
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_greedy_columns_span(self, n, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(n + 3, n))
+        extra = A @ rng.normal(size=(n, 2))
+        B = np.hstack([A, extra])
+        kept = greedy_independent_columns(B, list(range(B.shape[1])))
+        assert np.linalg.matrix_rank(B[:, kept]) == np.linalg.matrix_rank(B)
+        assert len(kept) == np.linalg.matrix_rank(B)
+
+
+class TestReductionProperties:
+    @FAST
+    @given(
+        num_nodes=st.integers(min_value=10, max_value=80),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_kept_columns_always_independent(self, num_nodes, seed):
+        topo = random_tree(num_nodes=num_nodes, seed=seed)
+        paths = build_paths(topo.network, topo.beacons, topo.destinations)
+        routing = RoutingMatrix.from_paths(paths)
+        rng = np.random.default_rng(seed)
+        v = rng.random(routing.num_links)
+        for strategy, kwargs in (
+            ("paper", {}),
+            ("greedy", {}),
+            ("gap", {}),
+            ("threshold", {"variance_cutoff": 0.5}),
+        ):
+            result = reduce_to_full_rank(
+                routing.matrix, v, strategy=strategy, **kwargs
+            )
+            if result.num_kept:
+                sub = routing.to_dense()[:, result.kept_columns]
+                assert np.linalg.matrix_rank(sub) == result.num_kept
+
+
+class TestGilbertProperties:
+    @FAST
+    @given(
+        rate=st.floats(min_value=0.01, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_stationary_rate(self, rate, seed):
+        states = GilbertProcess().sample_states(
+            np.array([rate]), 30_000, seed=seed
+        )
+        assert states.mean() == pytest.approx(rate, abs=0.05)

@@ -1,0 +1,109 @@
+"""Tests for probe scheduling and the measurement collector."""
+
+import numpy as np
+import pytest
+
+from repro.probing import (
+    MeasurementCampaign,
+    ProbeScheduler,
+    Snapshot,
+    restrict_campaign,
+    split_paths,
+)
+from repro.probing.scheduler import PROBE_SIZE_BYTES
+from repro.topology.routing import RoutingMatrix
+
+
+class TestScheduler:
+    def test_paper_parameters(self):
+        scheduler = ProbeScheduler()
+        # 40-byte probes at 10 ms spacing = 4 KB/s per path; the 100 KB/s
+        # cap allows 25 parallel paths -> 150 paths/minute (10 s each).
+        assert scheduler.per_path_rate_bytes_per_s == pytest.approx(4000)
+        assert scheduler.max_parallel_paths == 25
+        assert scheduler.path_duration_s == pytest.approx(10.0)
+
+    def test_rate_cap_honoured(self, small_tree):
+        _, paths, _ = small_tree
+        scheduler = ProbeScheduler()
+        schedule = scheduler.schedule_round(paths, seed=1)
+        for beacon in {p.source for p in paths}:
+            rate = schedule.beacon_send_rate_bytes_per_s(beacon)
+            assert rate <= 100_000 * 1.01
+
+    def test_all_paths_scheduled(self, small_tree):
+        _, paths, _ = small_tree
+        schedule = ProbeScheduler().schedule_round(paths, seed=2)
+        assert sorted(m.path_index for m in schedule.measurements) == list(
+            range(len(paths))
+        )
+
+    def test_round_duration_grows_with_load(self, small_tree):
+        _, paths, _ = small_tree
+        fast = ProbeScheduler(rate_cap_bytes_per_s=1e9)
+        slow = ProbeScheduler(rate_cap_bytes_per_s=8000)
+        assert (
+            slow.schedule_round(paths, seed=3).round_duration_s
+            > fast.schedule_round(paths, seed=3).round_duration_s
+        )
+
+    def test_order_randomised(self, small_tree):
+        _, paths, _ = small_tree
+        a = ProbeScheduler().schedule_round(paths, seed=4)
+        b = ProbeScheduler().schedule_round(paths, seed=5)
+        order_a = [m.path_index for m in a.measurements]
+        order_b = [m.path_index for m in b.measurements]
+        assert order_a != order_b
+
+    def test_probe_size_matches_paper(self):
+        assert PROBE_SIZE_BYTES == 40  # 20 IP + 8 UDP + 12 payload
+
+
+class TestSplit:
+    def test_halves_cover_everything(self):
+        split = split_paths(101, seed=0)
+        rows = sorted(split.inference_rows + split.validation_rows)
+        assert rows == list(range(101))
+
+    def test_roughly_equal_halves(self):
+        split = split_paths(100, seed=1)
+        assert abs(len(split.inference_rows) - len(split.validation_rows)) <= 1
+
+    def test_custom_fraction(self):
+        split = split_paths(100, seed=2, validation_fraction=0.25)
+        assert len(split.validation_rows) == 25
+
+    def test_deterministic(self):
+        assert split_paths(50, seed=3) == split_paths(50, seed=3)
+
+    def test_too_few_paths(self):
+        with pytest.raises(ValueError):
+            split_paths(1)
+
+
+class TestRestrictCampaign:
+    def test_restriction_slices_measurements(self, small_tree, tree_campaign):
+        _, paths, routing = small_tree
+        split = split_paths(len(paths), seed=4)
+        sub_campaign, sub_paths, sub_routing = restrict_campaign(
+            tree_campaign, paths, split.inference_rows
+        )
+        assert len(sub_paths) == len(split.inference_rows)
+        assert sub_routing.num_paths == len(sub_paths)
+        for snap, sub in zip(tree_campaign.snapshots, sub_campaign.snapshots):
+            expected = snap.path_transmission[list(split.inference_rows)]
+            assert np.array_equal(sub.path_transmission, expected)
+
+    def test_restriction_rereduces_routing(self, small_tree, tree_campaign):
+        _, paths, routing = small_tree
+        split = split_paths(len(paths), seed=5)
+        _, _, sub_routing = restrict_campaign(
+            tree_campaign, paths, split.inference_rows
+        )
+        # Fewer paths cover fewer links (or at most the same).
+        assert sub_routing.num_links <= routing.num_links
+
+    def test_empty_subset_rejected(self, small_tree, tree_campaign):
+        _, paths, _ = small_tree
+        with pytest.raises(ValueError):
+            restrict_campaign(tree_campaign, paths, [])

@@ -1,0 +1,77 @@
+"""The worked Figure 1 / Figure 2 examples must match the paper."""
+
+import numpy as np
+import pytest
+
+from repro.core.augmented import augmented_matrix, augmented_rank
+from repro.topology.examples import (
+    figure1_paths,
+    figure1_rate_ambiguity,
+    figure2_paths,
+)
+from repro.topology.routing import RoutingMatrix
+
+
+class TestFigure1:
+    def test_routing_matrix_is_the_papers(self, figure1):
+        _, _, routing = figure1
+        expected = [[1, 1, 0, 0, 0], [1, 0, 1, 1, 0], [1, 0, 1, 0, 1]]
+        assert routing.matrix.tolist() == expected
+
+    def test_rank_deficient_first_moments(self, figure1):
+        _, _, routing = figure1
+        assert routing.rank() == 3 < routing.num_links
+
+    def test_augmented_matrix_matches_paper(self, figure1):
+        """The paper prints A for the single-beacon example explicitly."""
+        _, _, routing = figure1
+        A = augmented_matrix(routing.matrix)
+        expected = np.array(
+            [
+                [1, 1, 0, 0, 0],
+                [1, 0, 0, 0, 0],
+                [1, 0, 0, 0, 0],
+                [1, 0, 1, 1, 0],
+                [1, 0, 1, 0, 0],
+                [1, 0, 1, 0, 1],
+            ],
+            dtype=np.float64,
+        )
+        assert np.array_equal(A, expected)
+
+    def test_variances_identifiable(self, figure1):
+        _, _, routing = figure1
+        assert augmented_rank(routing.matrix) == routing.num_links
+
+    def test_rate_ambiguity_is_real(self, figure1):
+        """Two rate assignments, identical path products (Figure 1's point)."""
+        _, _, routing = figure1
+        a, b = figure1_rate_ambiguity()
+        assert a != b
+        log_a = routing.aggregate_log_rates(np.log(a))
+        log_b = routing.aggregate_log_rates(np.log(b))
+        R = routing.to_dense()
+        assert np.allclose(R @ log_a, R @ log_b)
+
+
+class TestFigure2:
+    def test_counts_match_paper(self, figure2):
+        _, paths, routing = figure2
+        assert len(paths) == 6
+        assert routing.num_links == 8
+        assert routing.rank() == 5
+
+    def test_rank_deficient_but_variance_identifiable(self, figure2):
+        _, _, routing = figure2
+        assert routing.rank() < min(routing.num_paths, routing.num_links)
+        assert augmented_rank(routing.matrix) == routing.num_links
+
+    def test_no_aliases_remain(self, figure2):
+        _, _, routing = figure2
+        assert all(v.size == 1 for v in routing.virtual_links)
+
+    def test_paths_form_trees_per_beacon(self, figure2):
+        _, paths, _ = figure2
+        from repro.topology.fluttering import find_fluttering_pairs
+
+        assert find_fluttering_pairs(paths) == []

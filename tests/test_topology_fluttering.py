@@ -1,0 +1,103 @@
+"""Tests for route-fluttering detection (Assumption T.2)."""
+
+import pytest
+
+from repro.topology.fluttering import (
+    assert_no_fluttering,
+    find_fluttering_pairs,
+    paths_flutter,
+    remove_fluttering_paths,
+    shared_segments,
+)
+from repro.topology.graph import Network, Path, build_paths
+
+
+def fluttering_pair():
+    """Two paths that meet, diverge, and meet again."""
+    net = Network()
+    a = net.add_link(0, 1)
+    b1 = net.add_link(1, 2)
+    b2 = net.add_link(1, 3)
+    c1 = net.add_link(2, 4)
+    c2 = net.add_link(3, 4)
+    d = net.add_link(4, 5)
+    p1 = Path(index=0, source=0, dest=5, links=(a, b1, c1, d))
+    p2 = Path(index=1, source=0, dest=5, links=(a, b2, c2, d))
+    return p1, p2
+
+
+def nested_pair():
+    """Two paths sharing one contiguous segment (legal)."""
+    net = Network()
+    a = net.add_link(0, 1)
+    b = net.add_link(1, 2)
+    c = net.add_link(2, 3)
+    e = net.add_link(4, 1)
+    f = net.add_link(2, 5)
+    p1 = Path(index=0, source=0, dest=3, links=(a, b, c))
+    p2 = Path(index=1, source=4, dest=5, links=(e, b, f))
+    return p1, p2
+
+
+class TestDetection:
+    def test_fluttering_detected(self):
+        p1, p2 = fluttering_pair()
+        assert paths_flutter(p1, p2)
+
+    def test_contiguous_overlap_is_legal(self):
+        p1, p2 = nested_pair()
+        assert not paths_flutter(p1, p2)
+
+    def test_disjoint_paths_do_not_flutter(self):
+        net = Network()
+        a = net.add_link(0, 1)
+        b = net.add_link(2, 3)
+        p1 = Path(index=0, source=0, dest=1, links=(a,))
+        p2 = Path(index=1, source=2, dest=3, links=(b,))
+        assert not paths_flutter(p1, p2)
+
+    def test_shared_segments_counts_runs(self):
+        p1, p2 = fluttering_pair()
+        assert len(shared_segments(p1, p2)) == 2
+
+    def test_find_pairs(self):
+        p1, p2 = fluttering_pair()
+        assert find_fluttering_pairs([p1, p2]) == [(0, 1)]
+
+    def test_find_pairs_empty_for_tree(self, small_tree):
+        _, paths, _ = small_tree
+        assert find_fluttering_pairs(paths) == []
+
+    def test_assert_raises_on_fluttering(self):
+        p1, p2 = fluttering_pair()
+        with pytest.raises(ValueError, match="T.2"):
+            assert_no_fluttering([p1, p2])
+
+    def test_assert_passes_on_clean(self, small_tree):
+        _, paths, _ = small_tree
+        assert_no_fluttering(paths)
+
+
+class TestRemoval:
+    def test_removal_clears_fluttering(self):
+        p1, p2 = fluttering_pair()
+        kept, removed = remove_fluttering_paths([p1, p2])
+        assert len(kept) == 1
+        assert len(removed) == 1
+        assert find_fluttering_pairs(kept) == []
+
+    def test_removal_reindexes(self):
+        p1, p2 = fluttering_pair()
+        q1, q2 = nested_pair()
+        # Re-index the clean pair after the fluttering ones.
+        q1 = Path(index=2, source=q1.source, dest=q1.dest, links=q1.links)
+        q2 = Path(index=3, source=q2.source, dest=q2.dest, links=q2.links)
+        kept, removed = remove_fluttering_paths([p1, p2, q1, q2])
+        assert [p.index for p in kept] == list(range(len(kept)))
+        assert len(kept) == 3
+
+    def test_no_op_on_clean_paths(self, small_tree):
+        _, paths, _ = small_tree
+        kept, removed = remove_fluttering_paths(paths)
+        assert removed == []
+        assert len(kept) == len(paths)

@@ -1,0 +1,180 @@
+"""Unit tests for the directed graph model and routing."""
+
+import pytest
+
+from repro.topology.graph import Link, Network, Path, build_paths
+
+
+def line_network(n: int) -> Network:
+    net = Network()
+    for i in range(n - 1):
+        net.add_link(i, i + 1)
+    return net
+
+
+class TestNetworkConstruction:
+    def test_nodes_and_links_counted(self):
+        net = Network()
+        net.add_link(0, 1)
+        net.add_link(1, 2)
+        assert net.num_nodes == 3
+        assert net.num_links == 2
+
+    def test_duplicate_link_rejected(self):
+        net = Network()
+        net.add_link(0, 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_link(0, 1)
+
+    def test_reverse_direction_is_distinct(self):
+        net = Network()
+        a = net.add_link(0, 1)
+        b = net.add_link(1, 0)
+        assert a.index != b.index
+
+    def test_self_loop_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError, match="self-loop"):
+            net.add_link(3, 3)
+
+    def test_negative_node_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.add_node(-1)
+
+    def test_add_duplex(self):
+        net = Network()
+        fwd, back = net.add_duplex(0, 1)
+        assert (fwd.tail, fwd.head) == (0, 1)
+        assert (back.tail, back.head) == (1, 0)
+
+    def test_link_lookup_by_endpoints(self):
+        net = Network()
+        link = net.add_link(4, 7)
+        assert net.find_link(4, 7) is link
+        assert net.find_link(7, 4) is None
+
+    def test_degrees(self):
+        net = Network()
+        net.add_link(0, 1)
+        net.add_link(0, 2)
+        net.add_link(3, 0)
+        assert net.out_degree(0) == 2
+        assert net.in_degree(0) == 1
+        assert net.degree(0) == 3
+
+
+class TestRouting:
+    def test_route_on_line(self):
+        net = line_network(5)
+        hops = net.route(0, 4)
+        assert [h.tail for h in hops] == [0, 1, 2, 3]
+
+    def test_route_unreachable_returns_none(self):
+        net = Network()
+        net.add_link(0, 1)
+        net.add_node(5)
+        assert net.route(0, 5) is None
+
+    def test_route_to_self_is_empty(self):
+        net = line_network(3)
+        assert net.routes_from(0, [0])[0] == []
+
+    def test_shortest_path_is_shortest(self):
+        net = Network()
+        # 0 -> 1 -> 3 (length 2) and 0 -> 2a -> 2b -> 3 (length 3)
+        net.add_link(0, 1)
+        net.add_link(1, 3)
+        net.add_link(0, 4)
+        net.add_link(4, 5)
+        net.add_link(5, 3)
+        assert len(net.route(0, 3)) == 2
+
+    def test_deterministic_tie_breaking(self):
+        # Two equal-length routes; the canonical one must be stable.
+        def build():
+            net = Network()
+            net.add_link(0, 1)
+            net.add_link(0, 2)
+            net.add_link(1, 3)
+            net.add_link(2, 3)
+            return net
+
+        routes = [tuple(l.index for l in build().route(0, 3)) for _ in range(5)]
+        assert len(set(routes)) == 1
+
+    def test_unknown_source_raises(self):
+        net = line_network(3)
+        with pytest.raises(KeyError):
+            net.shortest_path_tree(99)
+
+    def test_is_connected_from(self):
+        net = line_network(4)
+        assert net.is_connected_from(0)
+        assert not net.is_connected_from(3)  # directed line
+
+
+class TestPath:
+    def test_valid_path(self, figure1):
+        net, paths, _ = figure1
+        for p in paths:
+            assert p.links[0].tail == p.source
+            assert p.links[-1].head == p.dest
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError, match="at least one link"):
+            Path(index=0, source=0, dest=0, links=())
+
+    def test_discontinuous_path_rejected(self):
+        net = Network()
+        a = net.add_link(0, 1)
+        b = net.add_link(2, 3)
+        with pytest.raises(ValueError, match="discontinuous"):
+            Path(index=0, source=0, dest=3, links=(a, b))
+
+    def test_wrong_source_rejected(self):
+        net = Network()
+        a = net.add_link(0, 1)
+        with pytest.raises(ValueError, match="start"):
+            Path(index=0, source=5, dest=1, links=(a,))
+
+    def test_node_sequence(self):
+        net = line_network(4)
+        p = Path(index=0, source=0, dest=3, links=tuple(net.route(0, 3)))
+        assert p.node_sequence() == (0, 1, 2, 3)
+
+    def test_traverses(self):
+        net = line_network(3)
+        p = Path(index=0, source=0, dest=2, links=tuple(net.route(0, 2)))
+        assert p.traverses(0)
+        assert not p.traverses(99)
+
+
+class TestBuildPaths:
+    def test_one_path_per_pair(self, figure2):
+        net, paths, _ = figure2
+        assert len(paths) == 6  # 2 beacons x 3 destinations
+
+    def test_skips_self_pairs(self):
+        net = Network()
+        net.add_duplex(0, 1)
+        paths = build_paths(net, beacons=[0, 1], destinations=[0, 1])
+        assert len(paths) == 2
+
+    def test_unreachable_raises_by_default(self):
+        net = Network()
+        net.add_link(0, 1)
+        net.add_node(9)
+        with pytest.raises(ValueError, match="unreachable"):
+            build_paths(net, [0], [9])
+
+    def test_unreachable_skipped_on_request(self):
+        net = Network()
+        net.add_link(0, 1)
+        net.add_node(9)
+        paths = build_paths(net, [0], [1, 9], skip_unreachable=True)
+        assert len(paths) == 1
+
+    def test_indices_are_dense(self, figure2):
+        _, paths, _ = figure2
+        assert [p.index for p in paths] == list(range(len(paths)))

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.delay import DelayInferenceAlgorithm, DelayProbingSimulator
 from repro.monitor import OnlineLossMonitor
-from repro.probing import ProberConfig, ProbingSimulator
+from repro.probing import ProbingSimulator
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,35 @@
+"""Benchmarks of the parallel sharded runner itself.
+
+Times the fig8 sweep (the widest trial grid at tiny scale) through the
+sequential backend, and the cache-hit path that production sweeps lean
+on: a warmed cache must make a re-run dramatically cheaper than
+executing, because sweep iteration is exactly re-running with overlap.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import EXPERIMENTS
+from repro.runner import ParallelRunner
+
+
+def test_runner_sequential_fig8(benchmark):
+    runner = ParallelRunner(n_jobs=1)
+    result = run_once(
+        benchmark, EXPERIMENTS["fig8"], scale="tiny", seed=0, runner=runner
+    )
+    assert runner.last_stats.trials_executed == runner.last_stats.trials_total
+    assert result.data["p_sweep"]
+
+
+def test_runner_cache_hit_replay(benchmark, tmp_path):
+    warm = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+    EXPERIMENTS["fig8"](scale="tiny", seed=0, runner=warm)
+    assert warm.last_stats.trials_executed > 0
+
+    replay = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+    run_once(
+        benchmark, EXPERIMENTS["fig8"], scale="tiny", seed=0, runner=replay
+    )
+    assert replay.last_stats.trials_executed == 0
+    assert replay.last_stats.trials_cached == replay.last_stats.trials_total

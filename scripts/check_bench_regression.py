@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Fail when benchmarks regress beyond a factor versus a committed baseline.
+
+Compares two pytest-benchmark JSON documents (``--benchmark-json`` output)
+by benchmark ``fullname``.  A benchmark *regresses* when::
+
+    current_mean > threshold * baseline_mean
+
+Benchmarks faster than ``--min-seconds`` in the baseline are compared but
+never fail the gate: at sub-50 ms scales, CI-runner noise and cache effects
+routinely exceed 2x and the gate would cry wolf.  Benchmarks present on only
+one side are reported but do not fail the gate either (new benchmarks have
+no baseline yet; removed ones have nothing to regress).
+
+Usage::
+
+    python scripts/check_bench_regression.py CURRENT.json BASELINE.json \
+        [--threshold 2.0] [--min-seconds 0.05]
+
+Exit status: 0 when no gated benchmark regresses, 1 otherwise, 2 on bad
+input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> "dict[str, float]":
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        print(f"error: {path} is not pytest-benchmark JSON", file=sys.stderr)
+        raise SystemExit(2)
+    return {
+        bench["fullname"]: float(bench["stats"]["mean"])
+        for bench in benchmarks
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh --benchmark-json output")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="regression factor that fails the gate (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="baseline means below this are reported but never fail (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        print("error: --threshold must exceed 1.0", file=sys.stderr)
+        return 2
+
+    current = load_means(args.current)
+    baseline = load_means(args.baseline)
+
+    shared = sorted(set(current) & set(baseline))
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+
+    regressions = []
+    width = max((len(name) for name in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
+    for name in shared:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else float("inf")
+        gated = baseline[name] >= args.min_seconds
+        flag = ""
+        if ratio > args.threshold:
+            flag = " REGRESSION" if gated else " (ungated: below --min-seconds)"
+            if gated:
+                regressions.append((name, ratio))
+        print(
+            f"{name:<{width}}  {baseline[name]:>9.4f}s  {current[name]:>9.4f}s  "
+            f"{ratio:>5.2f}x{flag}"
+        )
+    for name in only_current:
+        print(f"note: no baseline for {name} (new benchmark?)")
+    for name in only_baseline:
+        print(f"note: baseline-only benchmark {name} (removed?)")
+
+    if not shared:
+        print("error: no benchmarks in common with the baseline", file=sys.stderr)
+        return 2
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.1f}x:",
+            file=sys.stderr,
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed beyond {args.threshold:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

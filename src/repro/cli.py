@@ -1,6 +1,6 @@
-"""Command-line interface: audit, simulate, infer.
+"""Command-line interface: audit, simulate, infer, experiments.
 
-Three verbs covering the operational loop without writing Python:
+Four verbs covering the operational loop without writing Python:
 
 ``audit``
     generate (or size up) a monitoring layout and print its
@@ -11,7 +11,10 @@ Three verbs covering the operational loop without writing Python:
     JSON campaign document (the same format external measurements use);
 ``infer``
     run LIA on a campaign document and print the congested links with
-    their inferred loss rates.
+    their inferred loss rates;
+``experiments``
+    regenerate the paper's tables/figures through the parallel sharded
+    runner (``--jobs``, ``--cache-dir``; see ``repro.runner``).
 
 Examples::
 
@@ -19,6 +22,8 @@ Examples::
     python -m repro simulate --topology planetlab --snapshots 31 \
         --out campaign.json
     python -m repro infer campaign.json --threshold 0.002
+    python -m repro experiments fig5 --scale small --jobs -1 \
+        --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -38,6 +43,15 @@ TOPOLOGY_CHOICES = (
     "planetlab",
     "dimes",
 )
+
+# Static mirrors of repro.experiments.EXPERIMENTS / SCALES so building the
+# parser never imports the experiment modules (scipy and the full netsim
+# stack) for verbs that don't use them; tests pin them in sync.
+EXPERIMENT_CHOICES = (
+    "ablations", "duration", "fig3", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "table2", "table3", "timing",
+)
+SCALE_CHOICES = ("tiny", "small", "paper")
 
 
 def _build_topology(kind: str, size: int, hosts: int, seed: Optional[int]):
@@ -174,6 +188,18 @@ def cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.__main__ import run_experiments
+    from repro.runner.args import runner_from_args
+
+    names = (
+        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    run_experiments(names, args.scale, args.seed, runner_from_args(args))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -209,6 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--threshold", type=float, default=0.002)
     infer.add_argument("--top", type=int, default=20, help="rows to print")
     infer.set_defaults(func=cmd_infer)
+
+    from repro.runner.args import add_runner_arguments
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate paper tables/figures (parallel runner)"
+    )
+    experiments.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENT_CHOICES) + ["all"],
+        help="experiment id (table/figure number) or 'all'",
+    )
+    experiments.add_argument("--scale", choices=SCALE_CHOICES, default="small")
+    experiments.add_argument("--seed", type=int, default=0, help="master seed")
+    add_runner_arguments(experiments)
+    experiments.set_defaults(func=cmd_experiments)
     return parser
 
 

@@ -15,7 +15,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.augmented import augmented_rank, intersecting_pairs
+from repro.core.augmented import augmented_rank
 from repro.topology.fluttering import find_fluttering_pairs
 from repro.topology.graph import Path
 from repro.topology.routing import RoutingMatrix

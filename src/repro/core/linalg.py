@@ -11,7 +11,7 @@ cross-checked against numpy/scipy in the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

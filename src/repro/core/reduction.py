@@ -45,7 +45,7 @@ Four strategies (ablated against each other in the benchmarks):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -25,7 +25,6 @@ from repro.core.linalg import greedy_independent_columns
 from repro.delay.prober import DelayCampaign, DelaySnapshot
 from repro.topology.routing import RoutingMatrix
 from scipy import sparse
-from scipy.sparse import linalg as sparse_linalg
 
 
 @dataclass(frozen=True)

@@ -118,7 +118,7 @@ class DelayProbingSimulator:
         self.congested = rng.random(num_physical_links) < congestion_probability
         self.queue_means = model.draw_queue_means(self.congested, seed=rng)
         self._path_links = [
-            np.fromiter((l.index for l in p.links), dtype=np.int64)
+            np.fromiter((link.index for link in p.links), dtype=np.int64)
             for p in self.paths
         ]
 

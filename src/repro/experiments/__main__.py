@@ -5,6 +5,8 @@ Examples::
     python -m repro.experiments fig5
     python -m repro.experiments table2 --scale paper --seed 7
     python -m repro.experiments all --scale tiny
+    python -m repro.experiments fig8 --scale paper --jobs -1 \
+        --cache-dir ~/.cache/repro-experiments
 """
 
 from __future__ import annotations
@@ -12,8 +14,37 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import Optional, Sequence
 
 from repro.experiments import EXPERIMENTS, SCALES
+from repro.runner import ParallelRunner, RunnerStats
+from repro.runner.args import add_runner_arguments, runner_from_args
+
+
+def run_experiments(
+    names: Sequence[str],
+    scale: str,
+    seed: Optional[int],
+    runner: ParallelRunner,
+) -> None:
+    """Run experiments in order, printing each result and runner stats."""
+    for name in names:
+        runner.last_stats = RunnerStats()  # timing/duration never call run()
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](scale=scale, seed=seed, runner=runner)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        stats = runner.last_stats
+        if stats.trials_total:
+            print(
+                f"[{name} finished in {elapsed:.1f}s: "
+                f"{stats.trials_executed} trials executed, "
+                f"{stats.trials_cached} recalled from cache, "
+                f"jobs={runner.n_jobs}]"
+            )
+        else:
+            print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
 
 
 def main(argv=None) -> int:
@@ -33,16 +64,11 @@ def main(argv=None) -> int:
         help="parameter preset: tiny (smoke), small (minutes), paper",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        start = time.perf_counter()
-        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{name} finished in {elapsed:.1f}s]")
-        print()
+    run_experiments(names, args.scale, args.seed, runner_from_args(args))
     return 0
 
 

@@ -10,6 +10,11 @@ with numbers:
 * loss process: Gilbert / Bernoulli (the paper's "differences are
   insignificant" check);
 * negative-covariance equations: dropped (paper) / kept.
+
+Trial params carry only the variant *label* (labels are the cache/JSON
+identity); the label is mapped back to ``run_lia_trial`` overrides —
+which may contain non-serialisable objects like loss processes — inside
+the trial function.
 """
 
 from __future__ import annotations
@@ -18,67 +23,114 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.lia import LossInferenceAlgorithm
-from repro.core.variance import estimate_link_variances
 from repro.experiments.base import (
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     repetition_seeds,
     run_lia_trial,
     scale_params,
 )
-from repro.lossmodel import BernoulliProcess, GilbertProcess
+from repro.lossmodel import BernoulliProcess
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
+# The non-default alternatives of the canonical grids in repro.core
+# (wls + threshold are the first-row baseline, not ablations).
+ABLATED_VARIANCE_METHODS = ("lsmr", "normal", "qr", "nnls")
+ABLATED_REDUCTION_STRATEGIES = ("gap", "paper", "greedy")
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+
+def variant_labels() -> List[str]:
+    """The ablation grid, in presentation order."""
+    labels = ["default (wls+threshold)"]
+    labels.extend(f"variance={m}" for m in ABLATED_VARIANCE_METHODS)
+    labels.extend(f"reduction={s}" for s in ABLATED_REDUCTION_STRATEGIES)
+    labels.append("fidelity=flow")
+    labels.append("process=bernoulli")
+    return labels
+
+
+def _variant_overrides(label: str) -> dict:
+    if label == "default (wls+threshold)":
+        return {}
+    if label.startswith("variance="):
+        return {"variance_method": label.split("=", 1)[1]}
+    if label.startswith("reduction="):
+        return {"reduction_strategy": label.split("=", 1)[1]}
+    if label == "fidelity=flow":
+        return {"fidelity": "flow"}
+    if label == "process=bernoulli":
+        return {"process": BernoulliProcess()}
+    raise ValueError(f"unknown ablation variant {label!r}")
+
+
+def _variant_params(label: str, params):
+    """QR/NNLS densify A; keep them tractable by capping the tree size."""
+    overrides = _variant_overrides(label)
+    if overrides.get("variance_method") in ("qr", "nnls"):
+        return params.sized(
+            tree_nodes=min(params.tree_nodes, 120),
+            snapshots=min(params.snapshots, 25),
+        )
+    return params
+
+
+def trial(spec: TrialSpec) -> dict:
+    """One (variant, repetition) trial on the fixed tree workload."""
+    label = spec.params["variant"]
+    p = _variant_params(label, scale_params(spec.params["scale"]))
+    rep_seed = spec.seed
+    prepared = prepare_topology("tree", p, derive_seed(rep_seed, 0))
+    outcome = run_lia_trial(
+        prepared,
+        derive_seed(rep_seed, 1),
+        snapshots=p.snapshots,
+        probes=p.probes,
+        **_variant_overrides(label),
+    )
+    return {
+        "dr": outcome.detection.detection_rate,
+        "fpr": outcome.detection.false_positive_rate,
+        "median_ae": outcome.accuracy.absolute_errors.median,
+        "max_ae": outcome.accuracy.absolute_errors.maximum,
+    }
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     params = scale_params(scale)
     table = TextTable(["variant", "DR", "FPR", "median AE", "max AE"])
 
-    variants = [("default (wls+threshold)", {})]
-    for method in ("lsmr", "normal", "qr", "nnls"):
-        variants.append((f"variance={method}", {"variance_method": method}))
-    for strategy in ("gap", "paper", "greedy"):
-        variants.append((f"reduction={strategy}", {"reduction_strategy": strategy}))
-    variants.append(("fidelity=flow", {"fidelity": "flow"}))
-    variants.append(("process=bernoulli", {"process": BernoulliProcess()}))
-
-    # QR/NNLS densify A; keep them tractable by capping the tree size.
-    dense_params = params.sized(
-        tree_nodes=min(params.tree_nodes, 120),
-        snapshots=min(params.snapshots, 25),
-    )
-
-    for label, overrides in variants:
-        needs_dense = any(
-            overrides.get("variance_method") == m for m in ("qr", "nnls")
-        )
-        p = dense_params if needs_dense else params
-        drs: List[float] = []
-        fprs: List[float] = []
-        medians: List[float] = []
-        maxima: List[float] = []
-        for rep_seed in repetition_seeds(seed, p.repetitions):
-            prepared = prepare_topology("tree", p, derive_seed(rep_seed, 0))
-            trial = run_lia_trial(
-                prepared,
-                derive_seed(rep_seed, 1),
-                snapshots=p.snapshots,
-                probes=p.probes,
-                **overrides,
+    labels = variant_labels()
+    specs = []
+    reps_of: dict = {}
+    for label in labels:
+        reps_of[label] = _variant_params(label, params).repetitions
+        for rep_seed in repetition_seeds(seed, reps_of[label]):
+            specs.append(
+                TrialSpec(
+                    "ablations", len(specs), seed=rep_seed,
+                    params={"scale": scale, "variant": label},
+                )
             )
-            drs.append(trial.detection.detection_rate)
-            fprs.append(trial.detection.false_positive_rate)
-            medians.append(trial.accuracy.absolute_errors.median)
-            maxima.append(trial.accuracy.absolute_errors.maximum)
+    payloads = execute_trials(runner, "ablations", trial, specs)
+
+    offset = 0
+    for label in labels:
+        rows = payloads[offset : offset + reps_of[label]]
+        offset += reps_of[label]
         table.add_row(
             [
                 label,
-                float(np.mean(drs)),
-                float(np.mean(fprs)),
-                float(np.mean(medians)),
-                float(np.mean(maxima)),
+                float(np.mean([p["dr"] for p in rows])),
+                float(np.mean([p["fpr"] for p in rows])),
+                float(np.mean([p["median_ae"] for p in rows])),
+                float(np.mean([p["max_ae"] for p in rows])),
             ]
         )
 

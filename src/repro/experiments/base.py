@@ -16,14 +16,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.lia import LIAResult, LossInferenceAlgorithm
-from repro.lossmodel import LLRD1, GilbertProcess, LossRateModel
+from repro.lossmodel import LLRD1, LossRateModel
 from repro.lossmodel.processes import LossProcess
 from repro.metrics import (
     AccuracyReport,
     DetectionOutcome,
     evaluate_location,
 )
-from repro.probing import MeasurementCampaign, ProberConfig, ProbingSimulator
+from repro.probing import ProberConfig, ProbingSimulator
 from repro.probing.snapshot import Snapshot
 from repro.topology import (
     Path,
@@ -42,6 +42,7 @@ from repro.topology.generators import (
     random_tree,
     waxman,
 )
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
@@ -275,3 +276,26 @@ def mean_and_ci(values: Sequence[float]) -> Tuple[float, float]:
 def repetition_seeds(seed: Optional[int], count: int) -> List[Optional[int]]:
     """Independent derived seeds for experiment repetitions."""
     return [derive_seed(seed, i) if seed is not None else None for i in range(count)]
+
+
+# -- trial scheduling ----------------------------------------------------------
+
+
+def execute_trials(
+    runner: Optional[ParallelRunner],
+    experiment: str,
+    trial_fn: Callable[[TrialSpec], dict],
+    specs: Sequence[TrialSpec],
+) -> List[dict]:
+    """Run an experiment's trial list through a :class:`ParallelRunner`.
+
+    Every experiment module phrases its Monte-Carlo campaign as a list of
+    :class:`TrialSpec` (repetition seeds x parameter grid) plus a pure,
+    module-level trial function returning a JSON-serialisable payload.
+    When *runner* is ``None`` a throwaway sequential runner (``n_jobs=1``,
+    no cache) executes the trials in-process in spec order — exactly the
+    behaviour the harness had before it learned to parallelise, seed for
+    seed.
+    """
+    active = runner if runner is not None else ParallelRunner(n_jobs=1)
+    return active.run(experiment, trial_fn, specs)

@@ -14,7 +14,7 @@ shape: overwhelmingly length-1 runs, a small tail at 2+.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.experiments.base import (
 )
 from repro.lossmodel import INTERNET
 from repro.probing import MeasurementCampaign, ProberConfig, ProbingSimulator
+from repro.runner import ParallelRunner
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
@@ -48,7 +49,14 @@ def run_lengths(states: np.ndarray) -> List[int]:
     return lengths
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
+    # Inherently sequential (consecutive-snapshot inference with shared
+    # learned variances); `runner` is accepted for interface uniformity.
+    del runner
     params = scale_params(scale)
     num_consecutive = {"tiny": 10, "small": 30, "paper": 100}[scale]
 

@@ -19,21 +19,24 @@ from scipy import stats
 
 from repro.experiments.base import (
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     scale_params,
 )
 from repro.lossmodel import INTERNET
 from repro.probing import ProberConfig, ProbingSimulator
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 NUM_BINS = 8
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
-    params = scale_params(scale)
-    # 250 samples per path in the paper; scale the sample count, not S.
-    num_samples = {"tiny": 40, "small": 100, "paper": 250}[scale]
+def trial(spec: TrialSpec) -> dict:
+    """The (single) measurement campaign: per-path loss means/variances."""
+    params = scale_params(spec.params["scale"])
+    num_samples = spec.params["num_samples"]
+    seed = spec.seed
 
     prepared = prepare_topology("planetlab", params, derive_seed(seed, 1))
     config = ProberConfig(
@@ -53,8 +56,30 @@ def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
     )
 
     loss = np.vstack([s.path_loss_rates() for s in campaign.snapshots])
-    means = loss.mean(axis=0)
-    variances = loss.var(axis=0, ddof=1)
+    return {
+        "means": loss.mean(axis=0).tolist(),
+        "variances": loss.var(axis=0, ddof=1).tolist(),
+    }
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
+    # 250 samples per path in the paper; scale the sample count, not S.
+    num_samples = {"tiny": 40, "small": 100, "paper": 250}[scale]
+    scale_params(scale)  # validate early, before any worker dispatch
+
+    specs = [
+        TrialSpec(
+            "fig3", 0, seed=seed,
+            params={"scale": scale, "num_samples": num_samples},
+        )
+    ]
+    (payload,) = execute_trials(runner, "fig3", trial, specs)
+    means = np.asarray(payload["means"])
+    variances = np.asarray(payload["variances"])
     rho = float(stats.spearmanr(means, variances).statistic)
 
     table = TextTable(
@@ -82,7 +107,7 @@ def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
         name="fig3",
         description=(
             "Mean vs variance of path loss rates "
-            f"({loss.shape[1]} paths x {num_samples} samples)"
+            f"({means.size} paths x {num_samples} samples)"
         ),
         table=table,
         data={

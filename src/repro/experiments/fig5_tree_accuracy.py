@@ -7,6 +7,10 @@ training snapshots m for LIA, against the single-snapshot SCFS baseline.
 
 Expected shape: LIA dominates SCFS at every m (higher DR, lower FPR);
 LIA improves with m; SCFS is flat (it never uses history).
+
+Each repetition is one independent trial: it simulates a single
+``max(grid)+1``-snapshot campaign and evaluates every m on suffixes of
+it, so the trial — not the (rep, m) pair — is the schedulable unit.
 """
 
 from __future__ import annotations
@@ -18,15 +22,16 @@ import numpy as np
 from repro.core.lia import LossInferenceAlgorithm
 from repro.experiments.base import (
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     repetition_seeds,
-    run_lia_trial,
     scale_params,
 )
 from repro.inference import scfs_localize
 from repro.lossmodel import LLRD1
 from repro.metrics import detection_outcome, evaluate_location
 from repro.probing import ProberConfig, ProbingSimulator
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
@@ -37,53 +42,82 @@ SNAPSHOT_GRID = {
 }
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+def trial(spec: TrialSpec) -> dict:
+    """One repetition: a full campaign scored at every m plus SCFS."""
+    params = scale_params(spec.params["scale"])
+    grid = tuple(spec.params["grid"])
+    max_m = max(grid)
+    rep_seed = spec.seed
+
+    prepared = prepare_topology("tree", params, derive_seed(rep_seed, 0))
+    config = ProberConfig(
+        probes_per_snapshot=params.probes, congestion_probability=0.10
+    )
+    simulator = ProbingSimulator(
+        prepared.paths,
+        prepared.topology.network.num_links,
+        model=LLRD1,
+        config=config,
+    )
+    campaign = simulator.run_campaign(
+        max_m + 1, prepared.routing, seed=derive_seed(rep_seed, 1)
+    )
+    target = campaign[-1]
+    truth = target.virtual_congested(prepared.routing)
+
+    lia_dr: Dict[str, float] = {}
+    lia_fpr: Dict[str, float] = {}
+    for m in grid:
+        training = campaign.snapshots[max_m - m : max_m]
+        sub = type(campaign)(routing=campaign.routing, snapshots=list(training))
+        lia = LossInferenceAlgorithm(prepared.routing)
+        estimate = lia.learn_variances(sub)
+        result = lia.infer(target, estimate)
+        outcome = evaluate_location(
+            result.loss_rates, truth, prepared.routing, LLRD1.threshold
+        )
+        lia_dr[str(m)] = outcome.detection_rate
+        lia_fpr[str(m)] = outcome.false_positive_rate
+
+    localized = scfs_localize(
+        target, prepared.paths, prepared.routing, LLRD1.threshold
+    )
+    outcome = detection_outcome(
+        localized.as_mask(prepared.routing.num_links), truth
+    )
+    return {
+        "lia_dr": lia_dr,
+        "lia_fpr": lia_fpr,
+        "scfs_dr": outcome.detection_rate,
+        "scfs_fpr": outcome.false_positive_rate,
+    }
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     params = scale_params(scale)
     grid = SNAPSHOT_GRID[scale]
-    max_m = max(grid)
 
-    lia_dr: Dict[int, List[float]] = {m: [] for m in grid}
-    lia_fpr: Dict[int, List[float]] = {m: [] for m in grid}
-    scfs_dr: List[float] = []
-    scfs_fpr: List[float] = []
+    specs = [
+        TrialSpec(
+            "fig5", rep, seed=rep_seed,
+            params={"scale": scale, "grid": list(grid)},
+        )
+        for rep, rep_seed in enumerate(repetition_seeds(seed, params.repetitions))
+    ]
+    payloads = execute_trials(runner, "fig5", trial, specs)
 
-    for rep, rep_seed in enumerate(repetition_seeds(seed, params.repetitions)):
-        prepared = prepare_topology("tree", params, derive_seed(rep_seed, 0))
-        config = ProberConfig(
-            probes_per_snapshot=params.probes, congestion_probability=0.10
-        )
-        simulator = ProbingSimulator(
-            prepared.paths,
-            prepared.topology.network.num_links,
-            model=LLRD1,
-            config=config,
-        )
-        campaign = simulator.run_campaign(
-            max_m + 1, prepared.routing, seed=derive_seed(rep_seed, 1)
-        )
-        target = campaign[-1]
-        truth = target.virtual_congested(prepared.routing)
-
-        for m in grid:
-            training = campaign.snapshots[max_m - m : max_m]
-            sub = type(campaign)(routing=campaign.routing, snapshots=list(training))
-            lia = LossInferenceAlgorithm(prepared.routing)
-            estimate = lia.learn_variances(sub)
-            result = lia.infer(target, estimate)
-            outcome = evaluate_location(
-                result.loss_rates, truth, prepared.routing, LLRD1.threshold
-            )
-            lia_dr[m].append(outcome.detection_rate)
-            lia_fpr[m].append(outcome.false_positive_rate)
-
-        localized = scfs_localize(
-            target, prepared.paths, prepared.routing, LLRD1.threshold
-        )
-        outcome = detection_outcome(
-            localized.as_mask(prepared.routing.num_links), truth
-        )
-        scfs_dr.append(outcome.detection_rate)
-        scfs_fpr.append(outcome.false_positive_rate)
+    lia_dr: Dict[int, List[float]] = {
+        m: [p["lia_dr"][str(m)] for p in payloads] for m in grid
+    }
+    lia_fpr: Dict[int, List[float]] = {
+        m: [p["lia_fpr"][str(m)] for p in payloads] for m in grid
+    }
+    scfs_dr: List[float] = [p["scfs_dr"] for p in payloads]
+    scfs_fpr: List[float] = [p["scfs_fpr"] for p in payloads]
 
     table = TextTable(["m", "LIA DR", "LIA FPR", "SCFS DR", "SCFS FPR"])
     mean_scfs_dr = float(np.mean(scfs_dr))

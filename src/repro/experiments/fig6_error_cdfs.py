@@ -14,18 +14,20 @@ reaches ~1 below ~1.25.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.experiments.base import (
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     repetition_seeds,
     run_lia_trial,
     scale_params,
 )
 from repro.metrics import EmpiricalCDF, absolute_error, error_factor
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
@@ -33,25 +35,42 @@ ABS_POINTS = (0.0005, 0.001, 0.0015, 0.002, 0.0025, 0.005, 0.01)
 FACTOR_POINTS = (1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.5)
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+def trial(spec: TrialSpec) -> dict:
+    """One repetition: per-link absolute errors and error factors."""
+    params = scale_params(spec.params["scale"])
+    rep_seed = spec.seed
+    prepared = prepare_topology("tree", params, derive_seed(rep_seed, 0))
+    outcome = run_lia_trial(
+        prepared,
+        derive_seed(rep_seed, 1),
+        snapshots=params.snapshots,
+        probes=params.probes,
+    )
+    realized = outcome.target.realized_virtual_loss_rates(prepared.routing)
+    return {
+        "abs_errors": absolute_error(realized, outcome.result.loss_rates).tolist(),
+        "factors": error_factor(realized, outcome.result.loss_rates).tolist(),
+    }
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     params = scale_params(scale)
-    abs_samples: List[np.ndarray] = []
-    factor_samples: List[np.ndarray] = []
+    specs = [
+        TrialSpec("fig6", rep, seed=rep_seed, params={"scale": scale})
+        for rep, rep_seed in enumerate(repetition_seeds(seed, params.repetitions))
+    ]
+    payloads = execute_trials(runner, "fig6", trial, specs)
 
-    for rep_seed in repetition_seeds(seed, params.repetitions):
-        prepared = prepare_topology("tree", params, derive_seed(rep_seed, 0))
-        trial = run_lia_trial(
-            prepared,
-            derive_seed(rep_seed, 1),
-            snapshots=params.snapshots,
-            probes=params.probes,
-        )
-        realized = trial.target.realized_virtual_loss_rates(prepared.routing)
-        abs_samples.append(absolute_error(realized, trial.result.loss_rates))
-        factor_samples.append(error_factor(realized, trial.result.loss_rates))
-
-    abs_cdf = EmpiricalCDF.of(np.concatenate(abs_samples))
-    factor_cdf = EmpiricalCDF.of(np.concatenate(factor_samples))
+    abs_cdf = EmpiricalCDF.of(
+        np.concatenate([np.asarray(p["abs_errors"]) for p in payloads])
+    )
+    factor_cdf = EmpiricalCDF.of(
+        np.concatenate([np.asarray(p["factors"]) for p in payloads])
+    )
 
     table = TextTable(
         ["abs err x", "P(err<=x)", "factor x", "P(f<=x)"], float_fmt="{:.4f}"

@@ -13,57 +13,82 @@ removed (should be ~0).
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 import zlib
+from typing import Optional
 
 import numpy as np
 
 from repro.experiments.base import (
     MESH_TOPOLOGY_KINDS,
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     repetition_seeds,
     run_lia_trial,
     scale_params,
 )
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+def trial(spec: TrialSpec) -> dict:
+    """One (topology kind, repetition): reduction bookkeeping counts."""
+    params = scale_params(spec.params["scale"])
+    kind = spec.params["kind"]
+    rep_seed = spec.seed
+    prepared = prepare_topology(
+        kind, params, derive_seed(rep_seed, zlib.crc32(kind.encode()))
+    )
+    outcome = run_lia_trial(
+        prepared,
+        derive_seed(rep_seed, 1),
+        snapshots=params.snapshots,
+        probes=params.probes,
+    )
+    truth = outcome.target.virtual_congested(prepared.routing)
+    kept = outcome.result.reduction.kept_columns
+    return {
+        "num_congested": int(truth.sum()),
+        "num_kept": len(kept),
+        "removed_congested": int(
+            truth[outcome.result.reduction.removed_columns].sum()
+        ),
+    }
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     params = scale_params(scale)
     table = TextTable(
         ["topology", "congested", "columns in R*", "ratio", "congested removed"]
     )
     data = {}
 
-    for kind in ("tree",) + MESH_TOPOLOGY_KINDS:
-        ratios: List[float] = []
-        congested_counts: List[int] = []
-        kept_counts: List[int] = []
-        removed_congested: List[int] = []
-        for rep_seed in repetition_seeds(seed, params.repetitions):
-            prepared = prepare_topology(
-                kind, params, derive_seed(rep_seed, zlib.crc32(kind.encode()))
+    kinds = ("tree",) + MESH_TOPOLOGY_KINDS
+    rep_seeds = repetition_seeds(seed, params.repetitions)
+    specs = []
+    for kind in kinds:
+        for rep_seed in rep_seeds:
+            specs.append(
+                TrialSpec(
+                    "fig7", len(specs), seed=rep_seed,
+                    params={"scale": scale, "kind": kind},
+                )
             )
-            trial = run_lia_trial(
-                prepared,
-                derive_seed(rep_seed, 1),
-                snapshots=params.snapshots,
-                probes=params.probes,
-            )
-            truth = trial.target.virtual_congested(prepared.routing)
-            kept = trial.result.reduction.kept_columns
-            num_congested = int(truth.sum())
-            num_kept = len(kept)
-            congested_counts.append(num_congested)
-            kept_counts.append(num_kept)
-            if num_kept:
-                ratios.append(num_congested / num_kept)
-            removed_congested.append(
-                int(truth[trial.result.reduction.removed_columns].sum())
-            )
+    payloads = execute_trials(runner, "fig7", trial, specs)
+
+    for i, kind in enumerate(kinds):
+        rows = payloads[i * len(rep_seeds) : (i + 1) * len(rep_seeds)]
+        congested_counts = [p["num_congested"] for p in rows]
+        kept_counts = [p["num_kept"] for p in rows]
+        ratios = [
+            p["num_congested"] / p["num_kept"] for p in rows if p["num_kept"]
+        ]
+        removed_congested = [p["removed_congested"] for p in rows]
         table.add_row(
             [
                 kind,

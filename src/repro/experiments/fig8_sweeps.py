@@ -8,6 +8,10 @@ into linearly dependent families and more loss mass is misattributed).
 Panel (b): DR and FPR as the per-snapshot probe count S shrinks from
 1000 to 50 (p = 10 %).  Expected shape: mild degradation — the paper
 notes the impact of S "is less severe".
+
+Both panels flatten into one (panel, value, repetition) trial grid, so a
+parallel run overlaps the whole sweep instead of one grid point at a
+time.
 """
 
 from __future__ import annotations
@@ -18,11 +22,13 @@ import numpy as np
 
 from repro.experiments.base import (
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     repetition_seeds,
     run_lia_trial,
     scale_params,
 )
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
@@ -38,47 +44,91 @@ S_GRID = {
 }
 
 
-def _sweep(
+def trial(spec: TrialSpec) -> dict:
+    """One (panel, grid value, repetition) sensitivity trial."""
+    params = scale_params(spec.params["scale"])
+    variable = spec.params["variable"]
+    value = spec.params["value"]
+    rep_seed = spec.seed
+    prepared = prepare_topology("planetlab", params, derive_seed(rep_seed, 0))
+    kwargs = dict(snapshots=params.snapshots, probes=params.probes)
+    if variable == "p":
+        kwargs["congestion_probability"] = value
+    else:
+        kwargs["probes"] = value
+    outcome = run_lia_trial(prepared, derive_seed(rep_seed, 1), **kwargs)
+    return {
+        "dr": outcome.detection.detection_rate,
+        "fpr": outcome.detection.false_positive_rate,
+    }
+
+
+def _sweep_specs(
+    experiment: str,
+    scale: str,
     variable: str,
     values,
-    params,
+    repetitions: int,
     seed: Optional[int],
-) -> "tuple[TextTable, Dict]":
-    table = TextTable([variable, "DR", "FPR"])
-    raw: Dict[float, Dict[str, List[float]]] = {}
+    start_index: int,
+) -> List[TrialSpec]:
+    specs = []
     for value in values:
-        drs: List[float] = []
-        fprs: List[float] = []
-        for rep_seed in repetition_seeds(seed, params.repetitions):
-            prepared = prepare_topology(
-                "planetlab", params, derive_seed(rep_seed, 0)
+        for rep_seed in repetition_seeds(seed, repetitions):
+            specs.append(
+                TrialSpec(
+                    experiment,
+                    start_index + len(specs),
+                    seed=rep_seed,
+                    params={"scale": scale, "variable": variable, "value": value},
+                )
             )
-            kwargs = dict(snapshots=params.snapshots, probes=params.probes)
-            if variable == "p":
-                kwargs["congestion_probability"] = value
-            else:
-                kwargs["probes"] = value
-            trial = run_lia_trial(prepared, derive_seed(rep_seed, 1), **kwargs)
-            drs.append(trial.detection.detection_rate)
-            fprs.append(trial.detection.false_positive_rate)
-        table.add_row([value, float(np.mean(drs)), float(np.mean(fprs))])
-        raw[value] = {"dr": drs, "fpr": fprs}
-    return table, raw
+    return specs
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     params = scale_params(scale)
-    table_p, raw_p = _sweep("p", P_GRID[scale], params, derive_seed(seed, 10))
-    table_s, raw_s = _sweep("S", S_GRID[scale], params, derive_seed(seed, 20))
+    p_values = P_GRID[scale]
+    s_values = S_GRID[scale]
+
+    p_specs = _sweep_specs(
+        "fig8", scale, "p", p_values, params.repetitions,
+        derive_seed(seed, 10), 0,
+    )
+    s_specs = _sweep_specs(
+        "fig8", scale, "S", s_values, params.repetitions,
+        derive_seed(seed, 20), len(p_specs),
+    )
+    payloads = execute_trials(runner, "fig8", trial, p_specs + s_specs)
+
+    def collect(values, offset) -> Dict:
+        raw: Dict[float, Dict[str, List[float]]] = {}
+        for i, value in enumerate(values):
+            rows = payloads[
+                offset + i * params.repetitions :
+                offset + (i + 1) * params.repetitions
+            ]
+            raw[value] = {
+                "dr": [p["dr"] for p in rows],
+                "fpr": [p["fpr"] for p in rows],
+            }
+        return raw
+
+    raw_p = collect(p_values, 0)
+    raw_s = collect(s_values, len(p_specs))
 
     combined = TextTable(["panel", "value", "DR", "FPR"])
-    for value in P_GRID[scale]:
+    for value in p_values:
         combined.add_row(
             ["(a) p", value,
              float(np.mean(raw_p[value]["dr"])),
              float(np.mean(raw_p[value]["fpr"]))]
         )
-    for value in S_GRID[scale]:
+    for value in s_values:
         combined.add_row(
             ["(b) S", value,
              float(np.mean(raw_s[value]["dr"])),

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.lia import LossInferenceAlgorithm
 from repro.experiments.base import (
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     repetition_seeds,
     scale_params,
@@ -37,6 +38,7 @@ from repro.probing import (
     restrict_campaign,
     split_paths,
 )
+from repro.runner import ParallelRunner, TrialSpec
 from repro.topology import RoutingMatrix
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
@@ -48,62 +50,85 @@ M_GRID = {
 }
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+def trial(spec: TrialSpec) -> dict:
+    """One repetition: measure, probe, split, validate at every m."""
+    params = scale_params(spec.params["scale"])
+    grid = tuple(spec.params["grid"])
+    max_m = max(grid)
+    rep_seed = spec.seed
+
+    prepared = prepare_topology("planetlab", params, derive_seed(rep_seed, 0))
+    measured = measure_topology(
+        prepared.topology.network,
+        prepared.paths,
+        end_hosts=prepared.topology.end_hosts,
+        seed=derive_seed(rep_seed, 1),
+    )
+    measured_routing = RoutingMatrix.from_paths(measured.paths)
+    config = ProberConfig(
+        probes_per_snapshot=params.probes,
+        congestion_probability=0.08,
+        truth_mode="propensity",
+        propensity_range=(0.1, 0.7),
+    )
+    simulator = ProbingSimulator(
+        prepared.paths,
+        prepared.topology.network.num_links,
+        model=INTERNET,
+        config=config,
+    )
+    true_campaign = simulator.run_campaign(
+        max_m + 1, prepared.routing, seed=derive_seed(rep_seed, 2)
+    )
+    # Same measurements, interpreted over the measured topology.
+    campaign = MeasurementCampaign(
+        routing=measured_routing, snapshots=true_campaign.snapshots
+    )
+
+    split = split_paths(len(measured.paths), seed=derive_seed(rep_seed, 3))
+    inference_campaign, _, inference_routing = restrict_campaign(
+        campaign, measured.paths, split.inference_rows
+    )
+    validation_paths = [measured.paths[r] for r in split.validation_rows]
+    target = campaign[-1]
+    validation_rates = target.path_transmission[list(split.validation_rows)]
+
+    rates: Dict[str, float] = {}
+    for m in grid:
+        sub = MeasurementCampaign(
+            routing=inference_routing,
+            snapshots=inference_campaign.snapshots[max_m - m : max_m],
+        )
+        lia = LossInferenceAlgorithm(inference_routing)
+        estimate = lia.learn_variances(sub)
+        target_inference = inference_campaign.snapshots[max_m]
+        result = lia.infer(target_inference, estimate)
+        consistency = validate_against_paths(
+            result, inference_routing, validation_paths, validation_rates
+        )
+        rates[str(m)] = consistency.consistency_rate
+    return {"rates": rates}
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     params = scale_params(scale)
     grid = M_GRID[scale]
-    max_m = max(grid)
 
-    rates: Dict[int, List[float]] = {m: [] for m in grid}
-    for rep_seed in repetition_seeds(seed, params.repetitions):
-        prepared = prepare_topology("planetlab", params, derive_seed(rep_seed, 0))
-        measured = measure_topology(
-            prepared.topology.network,
-            prepared.paths,
-            end_hosts=prepared.topology.end_hosts,
-            seed=derive_seed(rep_seed, 1),
+    specs = [
+        TrialSpec(
+            "fig9", rep, seed=rep_seed,
+            params={"scale": scale, "grid": list(grid)},
         )
-        measured_routing = RoutingMatrix.from_paths(measured.paths)
-        config = ProberConfig(
-            probes_per_snapshot=params.probes,
-            congestion_probability=0.08,
-            truth_mode="propensity",
-            propensity_range=(0.1, 0.7),
-        )
-        simulator = ProbingSimulator(
-            prepared.paths,
-            prepared.topology.network.num_links,
-            model=INTERNET,
-            config=config,
-        )
-        true_campaign = simulator.run_campaign(
-            max_m + 1, prepared.routing, seed=derive_seed(rep_seed, 2)
-        )
-        # Same measurements, interpreted over the measured topology.
-        campaign = MeasurementCampaign(
-            routing=measured_routing, snapshots=true_campaign.snapshots
-        )
-
-        split = split_paths(len(measured.paths), seed=derive_seed(rep_seed, 3))
-        inference_campaign, _, inference_routing = restrict_campaign(
-            campaign, measured.paths, split.inference_rows
-        )
-        validation_paths = [measured.paths[r] for r in split.validation_rows]
-        target = campaign[-1]
-        validation_rates = target.path_transmission[list(split.validation_rows)]
-
-        for m in grid:
-            sub = MeasurementCampaign(
-                routing=inference_routing,
-                snapshots=inference_campaign.snapshots[max_m - m : max_m],
-            )
-            lia = LossInferenceAlgorithm(inference_routing)
-            estimate = lia.learn_variances(sub)
-            target_inference = inference_campaign.snapshots[max_m]
-            result = lia.infer(target_inference, estimate)
-            consistency = validate_against_paths(
-                result, inference_routing, validation_paths, validation_rates
-            )
-            rates[m].append(consistency.consistency_rate)
+        for rep, rep_seed in enumerate(repetition_seeds(seed, params.repetitions))
+    ]
+    payloads = execute_trials(runner, "fig9", trial, specs)
+    rates: Dict[int, List[float]] = {
+        m: [p["rates"][str(m)] for p in payloads] for m in grid
+    }
 
     table = TextTable(["m", "consistent paths (%)"], float_fmt="{:.2f}")
     for m in grid:

@@ -9,30 +9,65 @@ errors.
 Expected shape (paper values for reference): DR 86–96 % with FPR 2–7 %;
 median error factor 1.00; median absolute error ~1e-3; hierarchical and
 DIMES topologies slightly harder than the rest.
+
+The trial grid is (topology kind x repetition): 6 x repetitions
+independent trials, the widest fan-out in the harness.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
 import zlib
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.experiments.base import (
     MESH_TOPOLOGY_KINDS,
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     repetition_seeds,
     run_lia_trial,
     scale_params,
 )
 from repro.metrics import absolute_error, error_factor
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+def trial(spec: TrialSpec) -> dict:
+    """One (topology kind, repetition) LIA trial."""
+    params = scale_params(spec.params["scale"])
+    kind = spec.params["kind"]
+    rep_seed = spec.seed
+    prepared = prepare_topology(
+        kind, params, derive_seed(rep_seed, zlib.crc32(kind.encode()))
+    )
+    outcome = run_lia_trial(
+        prepared,
+        derive_seed(rep_seed, 1),
+        snapshots=params.snapshots,
+        probes=params.probes,
+    )
+    realized = outcome.target.realized_virtual_loss_rates(prepared.routing)
+    return {
+        "dr": outcome.detection.detection_rate,
+        "fpr": outcome.detection.false_positive_rate,
+        "error_factors": error_factor(
+            realized, outcome.result.loss_rates
+        ).tolist(),
+        "absolute_errors": absolute_error(
+            realized, outcome.result.loss_rates
+        ).tolist(),
+    }
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     params = scale_params(scale)
     table = TextTable(
         [
@@ -41,31 +76,26 @@ def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
             "AE max", "AE med", "AE min",
         ]
     )
-    raw: Dict[str, Dict[str, object]] = {}
 
+    rep_seeds = repetition_seeds(seed, params.repetitions)
+    specs = []
     for kind in MESH_TOPOLOGY_KINDS:
-        drs: List[float] = []
-        fprs: List[float] = []
-        factors: List[np.ndarray] = []
-        abs_errors: List[np.ndarray] = []
-        for rep_seed in repetition_seeds(seed, params.repetitions):
-            prepared = prepare_topology(
-                kind, params, derive_seed(rep_seed, zlib.crc32(kind.encode()))
+        for rep_seed in rep_seeds:
+            specs.append(
+                TrialSpec(
+                    "table2", len(specs), seed=rep_seed,
+                    params={"scale": scale, "kind": kind},
+                )
             )
-            trial = run_lia_trial(
-                prepared,
-                derive_seed(rep_seed, 1),
-                snapshots=params.snapshots,
-                probes=params.probes,
-            )
-            drs.append(trial.detection.detection_rate)
-            fprs.append(trial.detection.false_positive_rate)
-            realized = trial.target.realized_virtual_loss_rates(prepared.routing)
-            factors.append(error_factor(realized, trial.result.loss_rates))
-            abs_errors.append(absolute_error(realized, trial.result.loss_rates))
+    payloads = execute_trials(runner, "table2", trial, specs)
 
-        ef = np.concatenate(factors)
-        ae = np.concatenate(abs_errors)
+    raw: Dict[str, Dict[str, object]] = {}
+    for i, kind in enumerate(MESH_TOPOLOGY_KINDS):
+        rows = payloads[i * len(rep_seeds) : (i + 1) * len(rep_seeds)]
+        drs = [p["dr"] for p in rows]
+        fprs = [p["fpr"] for p in rows]
+        ef = np.concatenate([np.asarray(p["error_factors"]) for p in rows])
+        ae = np.concatenate([np.asarray(p["absolute_errors"]) for p in rows])
         table.add_row(
             [
                 kind,

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.lia import LossInferenceAlgorithm
 from repro.experiments.base import (
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     repetition_seeds,
     scale_params,
@@ -29,6 +30,7 @@ from repro.experiments.base import (
 from repro.lossmodel import INTERNET
 from repro.netsim import AsMapper, classify_congested_columns
 from repro.probing import ProberConfig, ProbingSimulator
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import SeedLike, as_rng, derive_seed
 from repro.utils.tables import TextTable
 
@@ -62,42 +64,66 @@ def _propensities_with_inter_as_boost(
     return propensities
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+def trial(spec: TrialSpec) -> dict:
+    """One repetition: inferred congested links classified by AS boundary."""
+    params = scale_params(spec.params["scale"])
+    rep_seed = spec.seed
+    prepared = prepare_topology("planetlab", params, derive_seed(rep_seed, 0))
+    mapper, plan = AsMapper.from_topology(prepared.topology)
+    propensities = _propensities_with_inter_as_boost(
+        prepared, base_fraction=0.06, seed=derive_seed(rep_seed, 1)
+    )
+    config = ProberConfig(
+        probes_per_snapshot=params.probes,
+        truth_mode="propensity",
+    )
+    simulator = ProbingSimulator(
+        prepared.paths,
+        prepared.topology.network.num_links,
+        model=INTERNET,
+        config=config,
+    )
+    campaign = simulator.run_campaign(
+        params.snapshots + 1,
+        prepared.routing,
+        seed=derive_seed(rep_seed, 2),
+        propensities=propensities,
+    )
+    result = LossInferenceAlgorithm(prepared.routing).run(campaign)
+
+    fractions: Dict[str, Optional[float]] = {}
+    for threshold in THRESHOLDS:
+        columns = np.flatnonzero(result.loss_rates > threshold)
+        if len(columns) == 0:
+            fractions[str(threshold)] = None
+            continue
+        breakdown = classify_congested_columns(
+            [int(c) for c in columns], prepared.routing, mapper, plan
+        )
+        fractions[str(threshold)] = breakdown.inter_fraction
+    return {"inter_fractions": fractions}
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     params = scale_params(scale)
-    counts: Dict[float, List[float]] = {t: [] for t in THRESHOLDS}
 
-    for rep_seed in repetition_seeds(seed, params.repetitions):
-        prepared = prepare_topology("planetlab", params, derive_seed(rep_seed, 0))
-        mapper, plan = AsMapper.from_topology(prepared.topology)
-        propensities = _propensities_with_inter_as_boost(
-            prepared, base_fraction=0.06, seed=derive_seed(rep_seed, 1)
-        )
-        config = ProberConfig(
-            probes_per_snapshot=params.probes,
-            truth_mode="propensity",
-        )
-        simulator = ProbingSimulator(
-            prepared.paths,
-            prepared.topology.network.num_links,
-            model=INTERNET,
-            config=config,
-        )
-        campaign = simulator.run_campaign(
-            params.snapshots + 1,
-            prepared.routing,
-            seed=derive_seed(rep_seed, 2),
-            propensities=propensities,
-        )
-        result = LossInferenceAlgorithm(prepared.routing).run(campaign)
-
-        for threshold in THRESHOLDS:
-            columns = np.flatnonzero(result.loss_rates > threshold)
-            if len(columns) == 0:
-                continue
-            breakdown = classify_congested_columns(
-                [int(c) for c in columns], prepared.routing, mapper, plan
-            )
-            counts[threshold].append(breakdown.inter_fraction)
+    specs = [
+        TrialSpec("table3", rep, seed=rep_seed, params={"scale": scale})
+        for rep, rep_seed in enumerate(repetition_seeds(seed, params.repetitions))
+    ]
+    payloads = execute_trials(runner, "table3", trial, specs)
+    counts: Dict[float, List[float]] = {
+        t: [
+            p["inter_fractions"][str(t)]
+            for p in payloads
+            if p["inter_fractions"][str(t)] is not None
+        ]
+        for t in THRESHOLDS
+    }
 
     table = TextTable(["t_l", "inter-AS (%)", "intra-AS (%)"], float_fmt="{:.1f}")
     for threshold in THRESHOLDS:

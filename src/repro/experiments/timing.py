@@ -27,11 +27,20 @@ from repro.experiments.base import (
     scale_params,
 )
 from repro.probing import ProberConfig, ProbingSimulator
+from repro.runner import ParallelRunner
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 
-def run(scale: str = "small", seed: Optional[int] = 0) -> ExperimentResult:
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
+    # Wall-clock timings are the measurement itself: caching or running
+    # them in a worker pool would corrupt them, so `runner` is accepted
+    # for interface uniformity and deliberately unused.
+    del runner
     params = scale_params(scale)
     prepared = prepare_topology("tree", params, derive_seed(seed, 0))
     simulator = ProbingSimulator(

@@ -22,7 +22,7 @@ generalisation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 import numpy as np
 

@@ -20,7 +20,7 @@ reported as unexplained rather than silently dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

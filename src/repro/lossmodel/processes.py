@@ -28,7 +28,7 @@ import abc
 
 import numpy as np
 
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike
 
 
 class LossProcess(abc.ABC):

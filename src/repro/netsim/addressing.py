@@ -12,7 +12,7 @@ uses, so the Table 3 classification pipeline is exercised faithfully.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 ADDRESS_BITS = 32
 

@@ -19,8 +19,8 @@ ground truth, for evaluation only) plus error diagnostics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.netsim.traceroute import TracerouteRecord, TracerouteSimulator
 from repro.topology.graph import Link, Network, NodeId, Path

@@ -21,7 +21,7 @@ from repro.netsim.addressing import (
     PrefixAllocator,
 )
 from repro.topology.generators.common import GeneratedTopology
-from repro.topology.graph import Link, NodeId
+from repro.topology.graph import NodeId
 from repro.topology.routing import RoutingMatrix
 
 

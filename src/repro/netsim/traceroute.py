@@ -23,10 +23,9 @@ the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.netsim.addressing import HostAllocator, Prefix
 from repro.topology.graph import Network, NodeId, Path

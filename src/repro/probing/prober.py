@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
+from scipy import sparse
 
 from repro.lossmodel.assignment import (
     SnapshotGroundTruth,
@@ -130,7 +131,7 @@ class ProbingSimulator:
             raise ValueError("need at least one probing path")
         if num_physical_links <= 0:
             raise ValueError("num_physical_links must be positive")
-        max_index = max(l.index for p in paths for l in p.links)
+        max_index = max(link.index for p in paths for link in p.links)
         if max_index >= num_physical_links:
             raise ValueError(
                 f"path references link {max_index} but only "
@@ -142,9 +143,26 @@ class ProbingSimulator:
         self.process = process if process is not None else GilbertProcess()
         self.config = config if config is not None else ProberConfig()
         self._path_links: List[np.ndarray] = [
-            np.fromiter((l.index for l in p.links), dtype=np.int64)
+            np.fromiter((link.index for link in p.links), dtype=np.int64)
             for p in self.paths
         ]
+        # Sparse (paths x physical links) membership matrix: one batched
+        # matmul replaces the per-path gather loops in both fidelity modes.
+        indptr = np.zeros(len(self.paths) + 1, dtype=np.int64)
+        np.cumsum([links.size for links in self._path_links], out=indptr[1:])
+        indices = (
+            np.concatenate(self._path_links)
+            if self.paths
+            else np.empty(0, dtype=np.int64)
+        )
+        self._membership = sparse.csr_matrix(
+            (
+                np.ones(indices.size, dtype=np.float64),
+                indices,
+                indptr,
+            ),
+            shape=(len(self.paths), num_physical_links),
+        )
 
     # -- single snapshot -----------------------------------------------------
 
@@ -181,10 +199,10 @@ class ProbingSimulator:
     ) -> "tuple[np.ndarray, np.ndarray]":
         num_probes = self.config.probes_per_snapshot
         drops = self.process.sample_states(truth.loss_rates, num_probes, seed=rng)
-        rates = np.empty(len(self.paths), dtype=np.float64)
-        for i, links in enumerate(self._path_links):
-            lost = drops[links].any(axis=0)
-            rates[i] = 1.0 - lost.mean()
+        # counts[i, t] = how many of path i's links dropped probe slot t;
+        # a probe survives iff that count is zero.
+        counts = self._membership @ drops.astype(np.float64)
+        rates = 1.0 - (counts > 0).mean(axis=1)
         return rates, drops.mean(axis=1)
 
     def _measure_flow(
@@ -196,9 +214,7 @@ class ProbingSimulator:
         )
         survival = 1.0 - fractions
         log_survival = np.log(np.maximum(survival, 1e-300))
-        rates = np.empty(len(self.paths), dtype=np.float64)
-        for i, links in enumerate(self._path_links):
-            rates[i] = np.exp(log_survival[links].sum())
+        rates = np.exp(self._membership @ log_survival)
         if self.config.path_sampling_noise:
             rates = rng.binomial(num_probes, rates) / float(num_probes)
         return rates, fractions

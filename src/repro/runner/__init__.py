@@ -1,0 +1,28 @@
+"""Parallel sharded execution of Monte-Carlo experiment campaigns.
+
+The paper's evaluation is a pile of independent (topology seed x
+loss-model x parameter) trials; this package schedules them.  See
+:class:`ParallelRunner` for the execution/caching contract and
+:class:`~repro.runner.spec.TrialSpec` for the unit of work.
+"""
+
+from repro.runner.cache import ShardCache, compute_code_version
+from repro.runner.core import (
+    ParallelRunner,
+    RunnerStats,
+    ShardExecutionError,
+    default_n_jobs,
+)
+from repro.runner.spec import TrialSpec, shard_key, shard_specs
+
+__all__ = [
+    "ParallelRunner",
+    "RunnerStats",
+    "ShardCache",
+    "ShardExecutionError",
+    "TrialSpec",
+    "compute_code_version",
+    "default_n_jobs",
+    "shard_key",
+    "shard_specs",
+]

@@ -1,0 +1,67 @@
+"""Argparse glue for the runner knobs.
+
+Shared by ``python -m repro.experiments`` and the ``repro experiments``
+verb so both expose identical ``--jobs``/``--cache-dir``/``--shard-size``
+flags with parse-time validation.  Lives in ``repro.runner`` (not the
+experiments package) so building a parser never has to import the
+experiment modules and their scipy/netsim dependency stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.runner.core import ParallelRunner
+
+
+def _jobs(value: str) -> int:
+    jobs = int(value)
+    if jobs == 0 or jobs < -1:
+        raise argparse.ArgumentTypeError(
+            "must be a positive count or -1 (all cores)"
+        )
+    return jobs
+
+
+def _shard_size(value: str) -> int:
+    size = int(value)
+    if size <= 0:
+        raise argparse.ArgumentTypeError("must be a positive trial count")
+    return size
+
+
+def _cache_dir(value: str) -> str:
+    if os.path.exists(value) and not os.path.isdir(value):
+        raise argparse.ArgumentTypeError(f"{value!r} exists and is not a directory")
+    return value
+
+
+def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the runner knobs to *parser*."""
+    parser.add_argument(
+        "--jobs",
+        type=_jobs,
+        default=1,
+        help="worker processes (1 = sequential, -1 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=_cache_dir,
+        default=None,
+        help="directory for the shard result cache (default: no caching)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=_shard_size,
+        default=1,
+        help="trials per shard / cache entry (default 1)",
+    )
+
+
+def runner_from_args(args: argparse.Namespace) -> ParallelRunner:
+    return ParallelRunner(
+        n_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        shard_size=args.shard_size,
+    )

@@ -1,0 +1,298 @@
+"""The parallel experiment runner.
+
+:class:`ParallelRunner` maps a trial function over a list of
+:class:`~repro.runner.spec.TrialSpec`, sharding the list across
+``multiprocessing`` workers and memoizing completed shards on disk.
+Guarantees:
+
+* **Determinism** — every trial's randomness comes from the derived seed
+  baked into its spec, and sharding is independent of the worker count,
+  so ``n_jobs=1`` and ``n_jobs=8`` produce identical payload lists.
+  ``n_jobs=1`` runs everything in-process (no pool, no pickling): it *is*
+  the sequential runner, not an emulation of one.
+* **Arrival-order merge** — shard payloads are merged as workers finish
+  (recorded in :attr:`RunnerStats.arrival_order`), but the returned list
+  is keyed by each spec's ``index``, so callers always see trial order.
+* **Memoization** — with a ``cache_dir``, completed shards are stored as
+  JSON keyed by (experiment, trial identities, code version); re-runs
+  and overlapping sweeps skip finished work.  Payloads are forced
+  through a JSON round-trip even on a miss, so cached and fresh runs
+  return byte-identical structures.  Shards containing ``seed=None``
+  trials (fresh random draws by contract) are executed every time and
+  never stored — memoizing them would replay old randomness.
+* **Fail-loud workers** — an exception in any trial aborts the run with
+  a :class:`ShardExecutionError` carrying the worker's traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import multiprocessing
+
+from repro.runner.cache import ShardCache, compute_code_version
+from repro.runner.spec import TrialSpec, json_roundtrip, shard_key, shard_specs
+
+TrialFunction = Callable[[TrialSpec], Any]
+
+
+class ShardExecutionError(RuntimeError):
+    """A trial raised (or its worker died) while executing a shard."""
+
+    def __init__(
+        self,
+        experiment: str,
+        shard_index: int,
+        specs: Sequence[TrialSpec],
+        worker_traceback: str,
+    ) -> None:
+        self.experiment = experiment
+        self.shard_index = shard_index
+        self.specs = list(specs)
+        self.worker_traceback = worker_traceback
+        indices = [spec.index for spec in self.specs]
+        super().__init__(
+            f"shard {shard_index} of experiment {experiment!r} "
+            f"(trials {indices}) failed:\n{worker_traceback}"
+        )
+
+
+@dataclass
+class RunnerStats:
+    """What one :meth:`ParallelRunner.run` call actually did."""
+
+    trials_total: int = 0
+    shards_total: int = 0
+    shards_executed: int = 0
+    shards_cached: int = 0
+    trials_executed: int = 0
+    trials_cached: int = 0
+    #: Shard indices in the order their results arrived (cache hits first,
+    #: then executed shards as workers finished them).
+    arrival_order: List[int] = field(default_factory=list)
+
+
+def _execute_shard(trial_fn: TrialFunction, shard: List[TrialSpec]) -> List[Any]:
+    """Run every trial of a shard; payloads are JSON-normalised."""
+    return [json_roundtrip(trial_fn(spec)) for spec in shard]
+
+
+def _shard_worker(args: "tuple[TrialFunction, List[TrialSpec]]"):
+    """Pool entry point: capture the traceback instead of pickling errors."""
+    trial_fn, shard = args
+    try:
+        return ("ok", _execute_shard(trial_fn, shard))
+    except BaseException:
+        return ("error", traceback.format_exc())
+
+
+def default_n_jobs() -> int:
+    """Worker count for ``n_jobs=-1``: every core, floor 1."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ParallelRunner:
+    """Shard a trial list across processes, with optional shard memoization.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes; ``1`` (default) executes sequentially in this
+        process, ``-1`` uses every core.
+    cache_dir:
+        Directory for the shard cache; ``None`` disables memoization.
+    shard_size:
+        Trials per shard (default 1: maximal cache granularity).  Part
+        of the cache identity — changing it re-keys the cache.
+    code_version:
+        Override the code-version component of cache keys (defaults to
+        a content hash of the ``repro`` sources).
+    mp_context:
+        ``multiprocessing`` start-method name; defaults to ``fork``
+        where available (cheap on Linux) and ``spawn`` elsewhere.
+        Trial functions must be module-level (picklable) for any
+        ``n_jobs != 1``.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        cache_dir: Optional[os.PathLike] = None,
+        shard_size: int = 1,
+        code_version: Optional[str] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if n_jobs == 0 or n_jobs < -1:
+            raise ValueError(
+                f"n_jobs must be a positive count or -1 (all cores), got {n_jobs}"
+            )
+        self.n_jobs = default_n_jobs() if n_jobs == -1 else n_jobs
+        self.cache = ShardCache(cache_dir) if cache_dir is not None else None
+        self.shard_size = shard_size
+        self._code_version = code_version
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self.mp_context = mp_context
+        self.last_stats = RunnerStats()
+
+    @property
+    def code_version(self) -> str:
+        if self._code_version is None:
+            self._code_version = compute_code_version()
+        return self._code_version
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        experiment: str,
+        trial_fn: TrialFunction,
+        specs: Sequence[TrialSpec],
+    ) -> List[Any]:
+        """Execute (or recall) every trial; payloads in spec-index order."""
+        specs = list(specs)
+        indices = sorted(spec.index for spec in specs)
+        if indices != list(range(len(specs))):
+            raise ValueError(
+                "trial indices must be exactly 0..n-1; got "
+                f"{indices[:5]}{'...' if len(indices) > 5 else ''}"
+            )
+        stats = RunnerStats(trials_total=len(specs))
+        self.last_stats = stats
+        if not specs:
+            return []
+
+        shards = shard_specs(specs, self.shard_size)
+        stats.shards_total = len(shards)
+        if self.cache is not None:
+            keys = [
+                shard_key(experiment, shard, self.code_version)
+                for shard in shards
+            ]
+            # A seed=None trial is a fresh random draw by contract;
+            # replaying a memoized draw would silently correlate
+            # "independent" re-runs, so such shards are never cached.
+            cacheable = [
+                all(spec.seed is not None for spec in shard) for shard in shards
+            ]
+        else:  # keys are only cache identities; skip source hashing entirely
+            keys = [None] * len(shards)
+            cacheable = [False] * len(shards)
+
+        results: List[Any] = [None] * len(specs)
+        pending: List[int] = []
+        for shard_index, (shard, key) in enumerate(zip(shards, keys)):
+            cached = (
+                self.cache.load(experiment, key, shard)
+                if cacheable[shard_index]
+                else None
+            )
+            if cached is not None:
+                self._merge(results, shard, cached)
+                stats.shards_cached += 1
+                stats.trials_cached += len(shard)
+                stats.arrival_order.append(shard_index)
+            else:
+                pending.append(shard_index)
+
+        if pending:
+            run_pending = (
+                self._run_sequential if self.n_jobs == 1 else self._run_parallel
+            )
+            run_pending(
+                experiment, trial_fn, shards, keys, cacheable, pending,
+                results, stats,
+            )
+        return results
+
+    def _finish_shard(
+        self,
+        experiment: str,
+        shards: List[List[TrialSpec]],
+        keys: List[Optional[str]],
+        cacheable: List[bool],
+        shard_index: int,
+        payloads: List[Any],
+        results: List[Any],
+        stats: RunnerStats,
+    ) -> None:
+        self._merge(results, shards[shard_index], payloads)
+        stats.shards_executed += 1
+        stats.trials_executed += len(shards[shard_index])
+        stats.arrival_order.append(shard_index)
+        if cacheable[shard_index]:
+            self.cache.store(
+                experiment,
+                keys[shard_index],
+                shards[shard_index],
+                payloads,
+                self.code_version,
+            )
+
+    def _run_sequential(
+        self, experiment, trial_fn, shards, keys, cacheable, pending,
+        results, stats,
+    ) -> None:
+        for shard_index in pending:
+            try:
+                payloads = _execute_shard(trial_fn, shards[shard_index])
+            except Exception as error:
+                raise ShardExecutionError(
+                    experiment, shard_index, shards[shard_index],
+                    traceback.format_exc(),
+                ) from error
+            self._finish_shard(
+                experiment, shards, keys, cacheable, shard_index, payloads,
+                results, stats,
+            )
+
+    def _run_parallel(
+        self, experiment, trial_fn, shards, keys, cacheable, pending,
+        results, stats,
+    ) -> None:
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.n_jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures: Dict[Any, int] = {
+                pool.submit(_shard_worker, (trial_fn, shards[shard_index])):
+                    shard_index
+                for shard_index in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                # Merge in arrival order within each completion batch.
+                for future in sorted(done, key=lambda f: futures[f]):
+                    shard_index = futures[future]
+                    shard = shards[shard_index]
+                    error = future.exception()
+                    if error is not None:  # pool breakage, not a trial error
+                        raise ShardExecutionError(
+                            experiment, shard_index, shard,
+                            f"{type(error).__name__}: {error}",
+                        ) from error
+                    outcome = future.result()
+                    if outcome[0] == "error":
+                        raise ShardExecutionError(
+                            experiment, shard_index, shard, outcome[1]
+                        )
+                    self._finish_shard(
+                        experiment, shards, keys, cacheable, shard_index,
+                        outcome[1], results, stats,
+                    )
+
+    @staticmethod
+    def _merge(
+        results: List[Any], shard: Sequence[TrialSpec], payloads: Sequence[Any]
+    ) -> None:
+        if len(payloads) != len(shard):
+            raise ValueError(
+                f"shard returned {len(payloads)} payloads for {len(shard)} trials"
+            )
+        for spec, payload in zip(shard, payloads):
+            results[spec.index] = payload

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import numpy as np
 
 from repro.topology.generators.common import (
     GeneratedTopology,

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
-import numpy as np
 
 from repro.topology.generators.common import GeneratedTopology
 from repro.topology.graph import Network

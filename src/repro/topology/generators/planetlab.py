@@ -21,9 +21,8 @@ runs unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-import numpy as np
 
 from repro.topology.generators.common import GeneratedTopology
 from repro.topology.graph import Network

@@ -15,7 +15,7 @@ direction is an independent tomography unknown.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

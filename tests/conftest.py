@@ -7,11 +7,9 @@ read-only.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import (
-    LossInferenceAlgorithm,
     ProberConfig,
     ProbingSimulator,
     RoutingMatrix,

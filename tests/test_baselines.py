@@ -13,9 +13,7 @@ from repro.inference import (
     tomo_localize,
 )
 from repro.lossmodel import LLRD1, SnapshotGroundTruth
-from repro.probing import ProbingSimulator, ProberConfig, Snapshot
-from repro.topology.examples import figure1_paths
-from repro.topology.routing import RoutingMatrix
+from repro.probing import Snapshot
 
 
 def snapshot_with_losses(paths, routing, lossy_links, num_physical, loss=0.15):
@@ -25,7 +23,7 @@ def snapshot_with_losses(paths, routing, lossy_links, num_physical, loss=0.15):
         rates[k] = loss
     survival = 1 - rates
     transmission = np.array(
-        [np.prod([survival[l.index] for l in p.links]) for p in paths]
+        [np.prod([survival[link.index] for link in p.links]) for p in paths]
     )
     truth = SnapshotGroundTruth(
         congested=rates > LLRD1.threshold, loss_rates=rates

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -71,3 +70,41 @@ class TestSimulateInfer:
         )
         assert code == 0
         assert main(["infer", str(doc)]) == 0
+
+
+class TestExperimentsVerb:
+    def test_static_choices_match_registry(self):
+        from repro.cli import EXPERIMENT_CHOICES, SCALE_CHOICES
+        from repro.experiments import EXPERIMENTS, SCALES
+
+        assert sorted(EXPERIMENT_CHOICES) == sorted(EXPERIMENTS)
+        assert SCALE_CHOICES == SCALES
+
+    def test_non_runner_experiment_omits_stats(self, capsys):
+        # timing/duration never call the runner; no bogus stats line
+        assert main(["experiments", "timing", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "[timing finished in" in out
+        assert "trials executed" not in out
+
+    def test_runs_and_reports_runner_stats(self, capsys):
+        code = main(["experiments", "fig5", "--scale", "tiny", "--jobs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== fig5 ==" in out
+        assert "2 trials executed, 0 recalled from cache" in out
+
+    def test_cache_dir_skips_rerun(self, tmp_path, capsys):
+        argv = [
+            "experiments", "fig6", "--scale", "tiny",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 trials executed, 0 recalled from cache" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 trials executed, 2 recalled from cache" in second
+        # identical rendered tables: the cache changes nothing but time
+        assert first.split("[fig6")[0] == second.split("[fig6")[0]

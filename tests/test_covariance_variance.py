@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.augmented import augmented_matrix, intersecting_pairs
+from repro.core.augmented import intersecting_pairs
 from repro.core.covariance import (
     negative_pair_mask,
     sample_covariance_matrix,

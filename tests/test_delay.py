@@ -10,7 +10,6 @@ from repro.delay import (
     DelayProbingSimulator,
     DelaySnapshot,
 )
-from repro.topology.routing import RoutingMatrix
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the topology generators."""
 
-import numpy as np
 import pytest
 
 from repro.topology.generators import (
@@ -52,8 +51,8 @@ class TestRandomTree:
     def test_deterministic_with_seed(self):
         a = random_tree(num_nodes=80, seed=5)
         b = random_tree(num_nodes=80, seed=5)
-        assert [l.endpoints() for l in a.network.links] == [
-            l.endpoints() for l in b.network.links
+        assert [link.endpoints() for link in a.network.links] == [
+            link.endpoints() for link in b.network.links
         ]
 
     def test_too_small_rejected(self):
@@ -77,16 +76,16 @@ class TestMeshGenerators:
     @pytest.mark.parametrize("factory", ALL_MESH)
     def test_deterministic_with_seed(self, factory):
         a, b = factory(21), factory(21)
-        assert [l.endpoints() for l in a.network.links] == [
-            l.endpoints() for l in b.network.links
+        assert [link.endpoints() for link in a.network.links] == [
+            link.endpoints() for link in b.network.links
         ]
         assert a.beacons == b.beacons
 
     @pytest.mark.parametrize("factory", ALL_MESH)
     def test_different_seeds_differ(self, factory):
         a, b = factory(1), factory(2)
-        ea = [l.endpoints() for l in a.network.links]
-        eb = [l.endpoints() for l in b.network.links]
+        ea = [link.endpoints() for link in a.network.links]
+        eb = [link.endpoints() for link in b.network.links]
         assert ea != eb
 
     def test_waxman_sparse(self):

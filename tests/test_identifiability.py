@@ -9,7 +9,6 @@ from repro.core.identifiability import (
     theoretical_variance_from_truth,
     verify_theorem1,
 )
-from repro.topology.routing import RoutingMatrix
 
 
 class TestAudit:

@@ -6,7 +6,6 @@ import pytest
 from repro import LossInferenceAlgorithm, ProberConfig, ProbingSimulator
 from repro.lossmodel import LLRD1, LLRD2
 from repro.metrics import evaluate_location
-from repro.probing import MeasurementCampaign
 
 
 class TestTreePipeline:

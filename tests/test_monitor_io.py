@@ -12,7 +12,6 @@ from repro.io import (
     save_campaign,
 )
 from repro.monitor import OnlineLossMonitor
-from repro.probing import MeasurementCampaign
 
 
 @pytest.fixture(scope="module")

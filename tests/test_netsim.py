@@ -166,7 +166,7 @@ class TestTraceroute:
         if not multi:
             pytest.skip("no multi-interface router drawn at this seed")
         node = multi[0]
-        neighbors = [l.tail for l in topo.network.in_links(node)]
+        neighbors = [link.tail for link in topo.network.in_links(node)]
         addresses = {sim.interface_address(node, nb) for nb in neighbors[:3]}
         assert len(addresses) == min(3, len(neighbors))
 
@@ -176,7 +176,7 @@ class TestTraceroute:
             n for n in topo.network.nodes() if not sim.is_multi_interface(n)
         ]
         node = single[0]
-        neighbors = [l.tail for l in topo.network.in_links(node)]
+        neighbors = [link.tail for link in topo.network.in_links(node)]
         addresses = {sim.interface_address(node, nb) for nb in neighbors}
         assert addresses == {sim.canonical_address(node)}
 
@@ -185,7 +185,7 @@ class TestTraceroute:
         record = sim.trace(paths[0])
         assert len(record.hops) == paths[0].length
         assert [h.true_router for h in record.hops] == [
-            l.head for l in paths[0].links
+            link.head for link in paths[0].links
         ]
 
 
@@ -206,7 +206,7 @@ class TestMeasuredTopology:
         assert measured.num_anonymous_nodes == 0
         # Perfect measurement: same node/link counts as the covered truth.
         covered_nodes = {p.source for p in paths} | {
-            l.head for p in paths for l in p.links
+            link.head for p in paths for link in p.links
         }
         assert measured.network.num_nodes == len(covered_nodes)
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.lossmodel import LLRD1, BernoulliProcess, SnapshotGroundTruth
+from repro.lossmodel import BernoulliProcess
 from repro.probing import (
     MeasurementCampaign,
     ProberConfig,
@@ -75,7 +75,7 @@ class TestProberPacketMode:
         snap = sim.run_snapshot(seed=6)
         survival = 1 - snap.realized_loss_fractions
         for path in paths[:30]:
-            product = np.prod([survival[l.index] for l in path.links])
+            product = np.prod([survival[link.index] for link in path.links])
             assert snap.path_transmission[path.index] == pytest.approx(
                 product, abs=0.05
             )
@@ -101,7 +101,7 @@ class TestProberFlowMode:
         snap = sim.run_snapshot(seed=8)
         survival = 1 - snap.realized_loss_fractions
         for path in paths:
-            product = np.prod([survival[l.index] for l in path.links])
+            product = np.prod([survival[link.index] for link in path.links])
             assert snap.path_transmission[path.index] == pytest.approx(product)
 
     def test_flow_with_noise_differs(self, small_tree):
@@ -112,7 +112,7 @@ class TestProberFlowMode:
         survival = 1 - snap.realized_loss_fractions
         products = np.array(
             [
-                np.prod([survival[l.index] for l in p.links])
+                np.prod([survival[link.index] for link in p.links])
                 for p in paths
             ]
         )

@@ -12,7 +12,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.augmented import (
     augmented_rank,
-    intersecting_pairs,
     num_pair_rows,
     pair_from_row_index,
     pair_row_index,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.reduction import (
-    REDUCTION_STRATEGIES,
     reduce_to_full_rank,
     solve_reduced_system,
 )

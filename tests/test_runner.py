@@ -1,0 +1,276 @@
+"""The parallel sharded runner: determinism, caching, failure paths.
+
+The acceptance bar: a fig5-style campaign run through ``ParallelRunner``
+with ``n_jobs=1`` reproduces the sequential harness seed for seed, every
+``n_jobs`` value agrees with every other, and a cached re-run skips all
+completed shards.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.runner import (
+    ParallelRunner,
+    ShardExecutionError,
+    TrialSpec,
+    shard_key,
+    shard_specs,
+)
+from repro.runner.spec import json_roundtrip
+
+
+def square_trial(spec: TrialSpec) -> dict:
+    """Module-level so worker processes can unpickle it by reference."""
+    return {"value": spec.seed ** 2, "tag": spec.params.get("tag")}
+
+
+def fragile_trial(spec: TrialSpec) -> dict:
+    if spec.index == 2:
+        raise ValueError("probe storm in trial 2")
+    return {"ok": spec.index}
+
+
+def messy_trial(spec: TrialSpec) -> dict:
+    # Tuples and int keys: JSON normalisation must canonicalise these.
+    return {"pair": (1, 2), "by_m": {10: 0.5}}
+
+
+def index_trial(spec: TrialSpec) -> dict:
+    return {"index": spec.index}
+
+
+def make_specs(n: int, experiment: str = "unit") -> list:
+    return [
+        TrialSpec(experiment, i, seed=i + 3, params={"tag": f"t{i % 2}"})
+        for i in range(n)
+    ]
+
+
+class TestSpecs:
+    def test_key_stable_and_param_sensitive(self):
+        a = TrialSpec("e", 0, seed=1, params={"x": 1, "y": [1, 2]})
+        b = TrialSpec("e", 0, seed=1, params={"y": [1, 2], "x": 1})
+        c = TrialSpec("e", 0, seed=1, params={"x": 2, "y": [1, 2]})
+        assert a.key() == b.key()  # dict order is not identity
+        assert a.key() != c.key()
+
+    def test_sharding_is_independent_of_jobs(self):
+        specs = make_specs(7)
+        assert [len(s) for s in shard_specs(specs, 1)] == [1] * 7
+        assert [len(s) for s in shard_specs(specs, 3)] == [3, 3, 1]
+        with pytest.raises(ValueError):
+            shard_specs(specs, 0)
+
+    def test_shard_key_mixes_code_version(self):
+        shard = make_specs(2)[:1]
+        assert shard_key("e", shard, "v1") != shard_key("e", shard, "v2")
+
+    def test_runner_rejects_bad_indices(self):
+        specs = [TrialSpec("e", 0, seed=1), TrialSpec("e", 2, seed=1)]
+        with pytest.raises(ValueError, match="0..n-1"):
+            ParallelRunner().run("e", square_trial, specs)
+
+    def test_runner_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(n_jobs=0)
+
+    def test_runner_rejects_below_minus_one(self):
+        # -1 means "all cores"; other negatives are typos, not requests
+        with pytest.raises(ValueError):
+            ParallelRunner(n_jobs=-5)
+        assert ParallelRunner(n_jobs=-1).n_jobs >= 1
+
+
+class TestDeterminismAcrossJobs:
+    def test_parallel_matches_sequential(self):
+        specs = make_specs(9)
+        expected = ParallelRunner(n_jobs=1).run("unit", square_trial, specs)
+        for n_jobs in (2, 4):
+            got = ParallelRunner(n_jobs=n_jobs).run("unit", square_trial, specs)
+            assert got == expected
+        got = ParallelRunner(n_jobs=2, shard_size=4).run(
+            "unit", square_trial, specs
+        )
+        assert got == expected
+
+    def test_arrival_order_recorded_but_merge_is_index_order(self):
+        specs = make_specs(6)
+        runner = ParallelRunner(n_jobs=3)
+        results = runner.run("unit", square_trial, specs)
+        assert [r["value"] for r in results] == [(i + 3) ** 2 for i in range(6)]
+        assert sorted(runner.last_stats.arrival_order) == list(range(6))
+
+    def test_payloads_are_json_normalised_without_cache(self):
+        (result,) = ParallelRunner().run(
+            "unit", messy_trial, [TrialSpec("unit", 0, seed=1)]
+        )
+        assert result == {"pair": [1, 2], "by_m": {"10": 0.5}}
+        assert result == json_roundtrip(result)
+
+
+class TestShardCache:
+    def test_second_run_skips_all_shards(self, tmp_path):
+        specs = make_specs(5)
+        first = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        a = first.run("unit", square_trial, specs)
+        assert first.last_stats.trials_executed == 5
+
+        second = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        b = second.run("unit", square_trial, specs)
+        assert b == a
+        assert second.last_stats.trials_executed == 0
+        assert second.last_stats.trials_cached == 5
+
+    def test_cache_shared_across_jobs_values(self, tmp_path):
+        specs = make_specs(6)
+        ParallelRunner(n_jobs=1, cache_dir=tmp_path).run(
+            "unit", square_trial, specs
+        )
+        parallel = ParallelRunner(n_jobs=3, cache_dir=tmp_path)
+        parallel.run("unit", square_trial, specs)
+        assert parallel.last_stats.shards_executed == 0
+
+    def test_overlapping_sweep_reuses_finished_trials(self, tmp_path):
+        ParallelRunner(cache_dir=tmp_path).run(
+            "unit", square_trial, make_specs(4)
+        )
+        wider = ParallelRunner(cache_dir=tmp_path)
+        wider.run("unit", square_trial, make_specs(7))
+        assert wider.last_stats.trials_cached == 4
+        assert wider.last_stats.trials_executed == 3
+
+    def test_grid_shift_keeps_cache_hits(self, tmp_path):
+        # Widening a sweep shifts trial indices; cached trials whose
+        # (seed, params) are unchanged must still hit.
+        base = [
+            TrialSpec("unit", i, seed=10 + i, params={"v": i}) for i in range(3)
+        ]
+        ParallelRunner(cache_dir=tmp_path).run("unit", square_trial, base)
+        widened = [TrialSpec("unit", 0, seed=99, params={"v": 99})] + [
+            TrialSpec("unit", i + 1, seed=10 + i, params={"v": i})
+            for i in range(3)
+        ]
+        runner = ParallelRunner(cache_dir=tmp_path)
+        results = runner.run("unit", square_trial, widened)
+        assert runner.last_stats.trials_cached == 3
+        assert runner.last_stats.trials_executed == 1
+        assert [r["value"] for r in results] == [99 ** 2, 100, 121, 144]
+
+    def test_seed_none_trials_are_never_cached(self, tmp_path):
+        specs = [TrialSpec("unit", i, seed=None) for i in range(3)]
+        for _ in range(2):
+            runner = ParallelRunner(cache_dir=tmp_path)
+            runner.run("unit", index_trial, specs)
+            # fresh random draws by contract: always executed, never stored
+            assert runner.last_stats.trials_executed == 3
+            assert runner.last_stats.trials_cached == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        specs = make_specs(3)
+        ParallelRunner(cache_dir=tmp_path, code_version="v1").run(
+            "unit", square_trial, specs
+        )
+        stale = ParallelRunner(cache_dir=tmp_path, code_version="v2")
+        stale.run("unit", square_trial, specs)
+        assert stale.last_stats.trials_executed == 3
+
+    def test_param_change_invalidates(self, tmp_path):
+        ParallelRunner(cache_dir=tmp_path).run(
+            "unit", square_trial, make_specs(3)
+        )
+        changed = [
+            TrialSpec("unit", i, seed=i + 3, params={"tag": "other"})
+            for i in range(3)
+        ]
+        runner = ParallelRunner(cache_dir=tmp_path)
+        runner.run("unit", square_trial, changed)
+        assert runner.last_stats.trials_executed == 3
+
+    def test_corrupt_entry_is_a_miss_and_repaired(self, tmp_path):
+        specs = make_specs(2)
+        ParallelRunner(cache_dir=tmp_path).run("unit", square_trial, specs)
+        for entry in (tmp_path / "unit").iterdir():
+            entry.write_text("{ not json")
+        runner = ParallelRunner(cache_dir=tmp_path)
+        results = runner.run("unit", square_trial, specs)
+        assert runner.last_stats.trials_executed == 2
+        assert [r["value"] for r in results] == [9, 16]
+        # repaired entries hit again
+        again = ParallelRunner(cache_dir=tmp_path)
+        again.run("unit", square_trial, specs)
+        assert again.last_stats.trials_executed == 0
+
+    def test_entries_are_valid_json_documents(self, tmp_path):
+        ParallelRunner(cache_dir=tmp_path).run(
+            "unit", square_trial, make_specs(1)
+        )
+        (entry,) = (tmp_path / "unit").iterdir()
+        document = json.loads(entry.read_text())
+        assert document["format"] == "repro-shard/1"
+        assert document["experiment"] == "unit"
+        assert len(document["payloads"]) == len(document["trials"]) == 1
+
+
+class TestWorkerFailure:
+    def test_sequential_crash_carries_traceback(self):
+        with pytest.raises(ShardExecutionError, match="probe storm"):
+            ParallelRunner(n_jobs=1).run("unit", fragile_trial, make_specs(4))
+
+    def test_parallel_crash_carries_traceback(self):
+        with pytest.raises(ShardExecutionError, match="probe storm"):
+            ParallelRunner(n_jobs=2).run("unit", fragile_trial, make_specs(4))
+
+    def test_failed_shard_is_not_cached(self, tmp_path):
+        runner = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        with pytest.raises(ShardExecutionError):
+            runner.run("unit", fragile_trial, make_specs(4))
+        # trials before the crash were cached; the failed one was not
+        retry = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        with pytest.raises(ShardExecutionError):
+            retry.run("unit", fragile_trial, make_specs(4))
+        assert retry.last_stats.trials_cached == 2
+
+
+class TestExperimentAcceptance:
+    """The ISSUE's acceptance bar, pinned on the real fig5 campaign."""
+
+    @staticmethod
+    def fig5_data(runner):
+        result = EXPERIMENTS["fig5"](scale="tiny", seed=0, runner=runner)
+        return json_roundtrip(
+            {
+                "lia_dr": {str(m): v for m, v in result.data["lia_dr"].items()},
+                "lia_fpr": {str(m): v for m, v in result.data["lia_fpr"].items()},
+                "scfs_dr": result.data["scfs_dr"],
+                "scfs_fpr": result.data["scfs_fpr"],
+            }
+        )
+
+    def test_fig5_runner_matches_sequential_and_skips_on_rerun(self, tmp_path):
+        sequential = self.fig5_data(runner=None)
+
+        runner = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        assert self.fig5_data(runner) == sequential
+        assert runner.last_stats.trials_executed == 2
+
+        rerun = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        assert self.fig5_data(rerun) == sequential
+        assert rerun.last_stats.trials_executed == 0
+        assert rerun.last_stats.shards_cached == rerun.last_stats.shards_total
+
+    def test_fig5_parallel_matches_sequential(self):
+        assert self.fig5_data(ParallelRunner(n_jobs=2)) == self.fig5_data(None)
+
+    def test_table2_parallel_matches_sequential(self):
+        seq = EXPERIMENTS["table2"](scale="tiny", seed=0)
+        par = EXPERIMENTS["table2"](
+            scale="tiny", seed=0, runner=ParallelRunner(n_jobs=4)
+        )
+        for kind in seq.data:
+            assert seq.data[kind]["dr"] == par.data[kind]["dr"]
+            assert seq.data[kind]["fpr"] == par.data[kind]["fpr"]

@@ -4,14 +4,11 @@ import numpy as np
 import pytest
 
 from repro.probing import (
-    MeasurementCampaign,
     ProbeScheduler,
-    Snapshot,
     restrict_campaign,
     split_paths,
 )
 from repro.probing.scheduler import PROBE_SIZE_BYTES
-from repro.topology.routing import RoutingMatrix
 
 
 class TestScheduler:

@@ -1,15 +1,11 @@
 """The worked Figure 1 / Figure 2 examples must match the paper."""
 
 import numpy as np
-import pytest
 
 from repro.core.augmented import augmented_matrix, augmented_rank
 from repro.topology.examples import (
-    figure1_paths,
     figure1_rate_ambiguity,
-    figure2_paths,
 )
-from repro.topology.routing import RoutingMatrix
 
 
 class TestFigure1:

@@ -9,7 +9,7 @@ from repro.topology.fluttering import (
     remove_fluttering_paths,
     shared_segments,
 )
-from repro.topology.graph import Network, Path, build_paths
+from repro.topology.graph import Network, Path
 
 
 def fluttering_pair():

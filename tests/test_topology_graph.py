@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.topology.graph import Link, Network, Path, build_paths
+from repro.topology.graph import Network, Path, build_paths
 
 
 def line_network(n: int) -> Network:
@@ -100,7 +100,7 @@ class TestRouting:
             net.add_link(2, 3)
             return net
 
-        routes = [tuple(l.index for l in build().route(0, 3)) for _ in range(5)]
+        routes = [tuple(link.index for link in build().route(0, 3)) for _ in range(5)]
         assert len(set(routes)) == 1
 
     def test_unknown_source_raises(self):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.topology.graph import Network, Path, build_paths
+from repro.topology.graph import Network, build_paths
 from repro.topology.routing import RoutingMatrix
 
 
@@ -125,7 +125,7 @@ class TestAggregation:
         phys = rng.uniform(0.8, 1.0, topo.network.num_links)
         virt_log = routing.aggregate_log_rates(np.log(phys))
         for path in paths[:20]:
-            direct = sum(np.log(phys[l.index]) for l in path.links)
+            direct = sum(np.log(phys[link.index]) for link in path.links)
             via_matrix = routing.matrix[path.index] @ virt_log
             assert via_matrix == pytest.approx(direct)
 

@@ -32,3 +32,23 @@ def bench_tree():
     )
     campaign = simulator.run_campaign(21, prepared.routing, seed=8)
     return prepared, simulator, campaign
+
+
+@pytest.fixture(scope="session")
+def bench_mesh():
+    """A mesh topology at the scale where the blocked kernels matter.
+
+    ~1.5k paths x ~400 virtual links: large enough that phase-2
+    reduction and the reduced solve are LAPACK-bound rather than
+    fixture-noise-bound, small enough to simulate once per session.
+    """
+    params = scale_params("small")
+    prepared = prepare_topology(
+        "barabasi-albert", params.sized(mesh_nodes=400, num_end_hosts=40), 11
+    )
+    config = ProberConfig(probes_per_snapshot=600, congestion_probability=0.1)
+    simulator = ProbingSimulator(
+        prepared.paths, prepared.topology.network.num_links, config=config
+    )
+    campaign = simulator.run_campaign(33, prepared.routing, seed=5)
+    return prepared, simulator, campaign

@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.augmented import intersecting_pairs
 from repro.core.lia import LossInferenceAlgorithm
+from repro.core.linalg import greedy_independent_columns, householder_qr
 from repro.core.reduction import reduce_to_full_rank, solve_reduced_system
 from repro.core.variance import estimate_link_variances
 
@@ -78,3 +79,86 @@ def test_per_snapshot_inference(benchmark, bench_tree):
     estimate = lia.learn_variances(training)  # warm: A cached
     result = benchmark(lia.infer, target, estimate)
     assert result.num_links == prepared.routing.num_links
+
+
+# -- mesh-scale kernels (the blocked/reuse-aware hot path) ----------------------
+
+
+@pytest.fixture(scope="module")
+def mesh_estimate(bench_mesh):
+    prepared, _, campaign = bench_mesh
+    training, _ = campaign.split_training_target()
+    return estimate_link_variances(training)
+
+
+def test_mesh_reduction_paper(benchmark, bench_mesh, mesh_estimate):
+    """Phase-2 paper reduction: one basis sweep vs the seed's SVD search."""
+    prepared, _, _ = bench_mesh
+    result = benchmark(
+        reduce_to_full_rank,
+        prepared.routing.matrix,
+        mesh_estimate.variances,
+        "paper",
+    )
+    sub = prepared.routing.to_dense()[:, result.kept_columns]
+    assert np.linalg.matrix_rank(sub) == result.num_kept
+
+
+def test_mesh_reduced_solve_warm(benchmark, bench_mesh, mesh_estimate):
+    """Reduced solve with a warm engine: two triangular-cost operations.
+
+    The seed re-ran ``np.linalg.lstsq`` per snapshot; the engine pays one
+    factorization per kept-column set and this bench measures the
+    marginal (cached) per-snapshot solve.
+    """
+    prepared, _, campaign = bench_mesh
+    _, target = campaign.split_training_target()
+    lia = LossInferenceAlgorithm(prepared.routing)
+    lia.infer(target, mesh_estimate)  # warm: reduction memo + factorization
+    result = benchmark(lia.infer, target, mesh_estimate)
+    assert result.num_links == prepared.routing.num_links
+
+
+def test_mesh_infer_batch(benchmark, bench_mesh, mesh_estimate):
+    """A 16-snapshot window as one multi-RHS solve."""
+    prepared, _, campaign = bench_mesh
+    tail = campaign.snapshots[-16:]
+    lia = LossInferenceAlgorithm(prepared.routing)
+    lia.infer(tail[0], mesh_estimate)  # warm
+    results = benchmark(lia.infer_batch, tail, mesh_estimate)
+    assert len(results) == len(tail)
+
+
+def test_mesh_infer_loop_warm(benchmark, bench_mesh, mesh_estimate):
+    """The same 16 snapshots as per-snapshot calls (infer_batch's foil)."""
+    prepared, _, campaign = bench_mesh
+    tail = campaign.snapshots[-16:]
+    lia = LossInferenceAlgorithm(prepared.routing)
+    lia.infer(tail[0], mesh_estimate)  # warm
+
+    def loop():
+        return [lia.infer(snapshot, mesh_estimate) for snapshot in tail]
+
+    results = benchmark(loop)
+    assert len(results) == len(tail)
+
+
+def test_mesh_householder_qr(benchmark, bench_mesh, mesh_estimate):
+    """Blocked Householder QR on the mesh's kept-column block."""
+    prepared, _, _ = bench_mesh
+    reduction = reduce_to_full_rank(
+        prepared.routing.matrix, mesh_estimate.variances, "paper"
+    )
+    R_star = prepared.routing.to_dense()[:, reduction.kept_columns]
+    Q, R = benchmark(householder_qr, R_star)
+    assert np.allclose(Q @ R, R_star, atol=1e-8)
+
+
+def test_mesh_greedy_independent_columns(benchmark, bench_mesh, mesh_estimate):
+    """Batched-MGS greedy column scan over the full mesh matrix."""
+    prepared, _, _ = bench_mesh
+    descending = np.argsort(mesh_estimate.variances)[::-1]
+    kept = benchmark(
+        greedy_independent_columns, prepared.routing.to_sparse(), descending
+    )
+    assert len(kept) > 0

@@ -12,6 +12,10 @@ routinely exceed 2x and the gate would cry wolf.  Benchmarks present on only
 one side are reported but do not fail the gate either (new benchmarks have
 no baseline yet; removed ones have nothing to regress).
 
+When running under GitHub Actions (``GITHUB_STEP_SUMMARY`` set), a
+markdown before/after table with per-benchmark speedups is appended to
+the job's step summary.
+
 Usage::
 
     python scripts/check_bench_regression.py CURRENT.json BASELINE.json \
@@ -25,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -43,6 +48,59 @@ def load_means(path: str) -> "dict[str, float]":
         bench["fullname"]: float(bench["stats"]["mean"])
         for bench in benchmarks
     }
+
+
+def write_step_summary(
+    shared: "list[str]",
+    current: "dict[str, float]",
+    baseline: "dict[str, float]",
+    only_current: "list[str]",
+    threshold: float,
+    min_seconds: float,
+    num_regressions: int,
+) -> None:
+    """Append a markdown before/after speedup table to the CI step summary.
+
+    No-op outside GitHub Actions (``GITHUB_STEP_SUMMARY`` unset).
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "## Benchmark comparison vs committed baseline",
+        "",
+        "| benchmark | baseline | current | speedup | |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name in shared:
+        base, cur = baseline[name], current[name]
+        speedup = base / cur if cur > 0 else float("inf")
+        if cur > threshold * base:
+            flag = (
+                "🔴 regression"
+                if base >= min_seconds
+                else "⚪ noisy (below gate floor)"
+            )
+        elif speedup >= 1.5:
+            flag = "🟢 faster"
+        else:
+            flag = ""
+        lines.append(
+            f"| `{name}` | {base * 1e3:.2f} ms | {cur * 1e3:.2f} ms | "
+            f"{speedup:.2f}x | {flag} |"
+        )
+    for name in only_current:
+        cur = current[name]
+        lines.append(f"| `{name}` | — | {cur * 1e3:.2f} ms | new | 🆕 |")
+    verdict = (
+        f"**FAIL**: {num_regressions} benchmark(s) regressed beyond "
+        f"{threshold:.1f}x."
+        if num_regressions
+        else f"**OK**: no benchmark regressed beyond {threshold:.1f}x."
+    )
+    lines += ["", verdict, ""]
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
 
 
 def main(argv=None) -> int:
@@ -96,6 +154,16 @@ def main(argv=None) -> int:
     if not shared:
         print("error: no benchmarks in common with the baseline", file=sys.stderr)
         return 2
+
+    write_step_summary(
+        shared,
+        current,
+        baseline,
+        only_current,
+        args.threshold,
+        args.min_seconds,
+        len(regressions),
+    )
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "

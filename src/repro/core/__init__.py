@@ -11,6 +11,7 @@ from repro.core.augmented import (
     pair_from_row_index,
     pair_row_index,
 )
+from repro.core.engine import FactorizationCache, InferenceEngine
 from repro.core.identifiability import (
     IdentifiabilityReport,
     audit_identifiability,
@@ -30,7 +31,9 @@ from repro.core.variance import (
 
 __all__ = [
     "AugmentedMatrixBuilder",
+    "FactorizationCache",
     "IdentifiabilityReport",
+    "InferenceEngine",
     "IntersectingPairs",
     "LIAResult",
     "LossInferenceAlgorithm",

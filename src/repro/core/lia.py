@@ -8,53 +8,25 @@ Ties the two phases together::
              R* has full column rank; solve Y = R* X* on the (m+1)-th
              snapshot; removed links get transmission rate ~ 1
 
-The driver caches the intersecting-pairs structure (the expensive
-once-per-network computation of A) so that repeated inference on new
-snapshots is cheap, as the paper emphasises.
+The heavy lifting lives in :class:`repro.core.engine.InferenceEngine`,
+which caches everything reusable across snapshots: the intersecting-pairs
+structure (the expensive once-per-network computation of A), the phase-2
+reduction per variance estimate, and the QR factorization of ``R*`` per
+kept-column set.  This class is the user-facing binding of one engine to
+one routing matrix, mirroring the paper's presentation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.augmented import IntersectingPairs, intersecting_pairs
-from repro.core.reduction import (
-    REDUCTION_STRATEGIES,
-    ReductionResult,
-    reduce_to_full_rank,
-    solve_reduced_system,
-)
-from repro.core.variance import (
-    VARIANCE_METHODS,
-    VarianceEstimate,
-    estimate_link_variances,
-)
+from repro.core.augmented import IntersectingPairs
+from repro.core.engine import InferenceEngine, LIAResult
+from repro.core.variance import VarianceEstimate
 from repro.probing.snapshot import MeasurementCampaign, Snapshot
 from repro.topology.routing import RoutingMatrix
 
-
-@dataclass(frozen=True)
-class LIAResult:
-    """Inferred link performance for one snapshot."""
-
-    transmission_rates: np.ndarray  # per routing-matrix column, in (0, 1]
-    variance_estimate: VarianceEstimate
-    reduction: ReductionResult
-
-    @property
-    def loss_rates(self) -> np.ndarray:
-        return 1.0 - self.transmission_rates
-
-    @property
-    def num_links(self) -> int:
-        return int(self.transmission_rates.shape[0])
-
-    def congested_links(self, threshold: float) -> np.ndarray:
-        """Boolean mask of links whose inferred loss rate exceeds *threshold*."""
-        return self.loss_rates > threshold
+__all__ = ["LIAResult", "LossInferenceAlgorithm"]
 
 
 class LossInferenceAlgorithm:
@@ -94,45 +66,55 @@ class LossInferenceAlgorithm:
         congestion_threshold: float = 0.002,
         cutoff_scale: float = 16.0,
     ) -> None:
-        if variance_method not in VARIANCE_METHODS:
-            raise ValueError(f"unknown variance method {variance_method!r}")
-        if reduction_strategy not in REDUCTION_STRATEGIES:
-            raise ValueError(f"unknown reduction strategy {reduction_strategy!r}")
-        self.routing = routing
-        self.variance_method = variance_method
-        self.reduction_strategy = reduction_strategy
-        if not 0 < congestion_threshold < 1:
-            raise ValueError("congestion_threshold must be in (0, 1)")
-        if cutoff_scale <= 0:
-            raise ValueError("cutoff_scale must be positive")
-        self.drop_negative = drop_negative
-        self.floor = floor
-        self.congestion_threshold = congestion_threshold
-        self.cutoff_scale = cutoff_scale
-        self._pairs: Optional[IntersectingPairs] = None
+        self.engine = InferenceEngine(
+            routing,
+            variance_method=variance_method,
+            reduction_strategy=reduction_strategy,
+            drop_negative=drop_negative,
+            floor=floor,
+            congestion_threshold=congestion_threshold,
+            cutoff_scale=cutoff_scale,
+        )
+
+    # The statistical knobs stay readable on the wrapper.
+    @property
+    def routing(self) -> RoutingMatrix:
+        return self.engine.routing
+
+    @property
+    def variance_method(self) -> str:
+        return self.engine.variance_method
+
+    @property
+    def reduction_strategy(self) -> str:
+        return self.engine.reduction_strategy
+
+    @property
+    def drop_negative(self) -> bool:
+        return self.engine.drop_negative
+
+    @property
+    def floor(self) -> Optional[float]:
+        return self.engine.floor
+
+    @property
+    def congestion_threshold(self) -> float:
+        return self.engine.congestion_threshold
+
+    @property
+    def cutoff_scale(self) -> float:
+        return self.engine.cutoff_scale
 
     @property
     def pairs(self) -> IntersectingPairs:
         """The (cached) non-zero rows of the augmented matrix A."""
-        if self._pairs is None:
-            self._pairs = intersecting_pairs(self.routing.matrix)
-        return self._pairs
+        return self.engine.pairs
 
     # -- phase 1 ---------------------------------------------------------------
 
     def learn_variances(self, training: MeasurementCampaign) -> VarianceEstimate:
         """Estimate link variances from the m training snapshots."""
-        if training.routing is not self.routing and not np.array_equal(
-            training.routing.matrix, self.routing.matrix
-        ):
-            raise ValueError("campaign routing matrix differs from LIA's")
-        return estimate_link_variances(
-            training,
-            method=self.variance_method,
-            drop_negative=self.drop_negative,
-            floor=self.floor,
-            pairs=self.pairs,
-        )
+        return self.engine.learn_variances(training)
 
     # -- phase 2 ---------------------------------------------------------------
 
@@ -140,28 +122,15 @@ class LossInferenceAlgorithm:
         self, snapshot: Snapshot, variance_estimate: VarianceEstimate
     ) -> LIAResult:
         """Infer link loss rates on one snapshot using learned variances."""
-        if variance_estimate.num_links != self.routing.num_links:
-            raise ValueError("variance vector does not match routing matrix")
-        cutoff = None
-        if self.reduction_strategy == "threshold":
-            cutoff = (
-                self.cutoff_scale
-                * self.congestion_threshold
-                / snapshot.num_probes
-            )
-        reduction = reduce_to_full_rank(
-            self.routing.matrix,
-            variance_estimate.variances,
-            strategy=self.reduction_strategy,
-            variance_cutoff=cutoff,
-        )
-        y = snapshot.path_log_rates(self.floor)
-        x = solve_reduced_system(self.routing.matrix, y, reduction)
-        return LIAResult(
-            transmission_rates=np.exp(x),
-            variance_estimate=variance_estimate,
-            reduction=reduction,
-        )
+        return self.engine.infer(snapshot, variance_estimate)
+
+    def infer_batch(
+        self,
+        snapshots: Sequence[Snapshot],
+        variance_estimate: VarianceEstimate,
+    ) -> List[LIAResult]:
+        """Infer many snapshots with one factorization per kept-column set."""
+        return self.engine.infer_batch(snapshots, variance_estimate)
 
     # -- end-to-end -------------------------------------------------------------
 
@@ -171,6 +140,4 @@ class LossInferenceAlgorithm:
         num_training: Optional[int] = None,
     ) -> LIAResult:
         """Learn on the first ``m`` snapshots, infer on the last one."""
-        training, target = campaign.split_training_target(num_training)
-        estimate = self.learn_variances(training)
-        return self.infer(target, estimate)
+        return self.engine.run(campaign, num_training)

@@ -7,6 +7,11 @@ removed from ``R`` until the remainder ``R*`` has full column rank; the
 reduced system ``Y = R* X*`` is then solvable, and the removed (best
 performing) links get loss rate ~ 0.
 
+Both entry points accept the routing matrix as a dense array **or** a
+scipy sparse matrix (CSR/CSC): reduction extracts columns without ever
+densifying the full matrix, and the reduced solve densifies only the
+kept-column block ``R*``.
+
 Four strategies (ablated against each other in the benchmarks):
 
 ``"threshold"`` (default)
@@ -30,11 +35,12 @@ Four strategies (ablated against each other in the benchmarks):
     rates and ~1e-3 median absolute errors reachable.
 ``"paper"``
     the literal loop of the Section 5.3 algorithm box — repeatedly drop
-    the currently smallest-variance column until full column rank.
-    Because a subset of an independent column set is independent, "full
-    rank after dropping the t smallest" is monotone in ``t``, so we find
-    the *exact* stopping point of the literal loop with a binary search
-    over ``t`` instead of one rank computation per removal.
+    the currently smallest-variance column until full column rank.  The
+    columns kept after ``t`` drops are exactly the length-``(n_c - t)``
+    prefix of the *descending* variance order, and a prefix is
+    independent iff an incremental Gram–Schmidt scan accepts every one of
+    its columns; the first rejected column therefore marks the exact
+    stopping point of the literal loop.  One sweep, no per-probe SVDs.
 ``"greedy"``
     scan columns from highest variance down and keep each column that is
     linearly independent of those kept so far (incremental
@@ -48,8 +54,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+from scipy import linalg as scipy_linalg
+from scipy import sparse
 
-from repro.core.linalg import greedy_independent_columns
+from repro.core.linalg import (
+    IncrementalColumnBasis,
+    _column_accessor,
+    greedy_independent_columns,
+)
 
 REDUCTION_STRATEGIES = ("threshold", "gap", "paper", "greedy")
 
@@ -70,31 +82,34 @@ class ReductionResult:
     def num_removed(self) -> int:
         return int(self.removed_columns.shape[0])
 
-
-def _matrix_rank(matrix: np.ndarray) -> int:
-    if matrix.shape[1] == 0:
-        return 0
-    return int(np.linalg.matrix_rank(matrix))
+    def key(self) -> bytes:
+        """Hashable identity of the kept-column set (factorization cache key)."""
+        return self.kept_columns.tobytes()
 
 
 def reduce_to_full_rank(
-    routing_matrix: np.ndarray,
+    routing_matrix,
     variances: np.ndarray,
     strategy: str = "threshold",
     variance_cutoff: Optional[float] = None,
 ) -> ReductionResult:
     """Select the columns of ``R*`` given per-column variances.
 
-    *variance_cutoff* is required by (and only used with) the
-    ``"threshold"`` strategy.
+    *routing_matrix* may be dense or scipy sparse.  *variance_cutoff* is
+    required by (and only used with) the ``"threshold"`` strategy.
     """
-    R = np.asarray(routing_matrix, dtype=np.float64)
+    if sparse.issparse(routing_matrix):
+        R = routing_matrix
+        num_cols = R.shape[1]
+    else:
+        R = np.asarray(routing_matrix, dtype=np.float64)
+        if R.ndim != 2:
+            raise ValueError("routing matrix must be two-dimensional")
+        num_cols = R.shape[1]
     v = np.asarray(variances, dtype=np.float64)
-    if R.ndim != 2:
-        raise ValueError("routing matrix must be two-dimensional")
-    if v.shape != (R.shape[1],):
+    if v.shape != (num_cols,):
         raise ValueError(
-            f"need one variance per column: {v.shape} vs {R.shape[1]} columns"
+            f"need one variance per column: {v.shape} vs {num_cols} columns"
         )
     if strategy not in REDUCTION_STRATEGIES:
         raise ValueError(
@@ -117,15 +132,15 @@ def reduce_to_full_rank(
     else:
         kept = _paper_reduction(R, ascending)
 
-    kept_arr = np.array(sorted(kept), dtype=np.int64)
-    removed_arr = np.setdiff1d(np.arange(R.shape[1], dtype=np.int64), kept_arr)
+    kept_arr = np.array(sorted(int(c) for c in kept), dtype=np.int64)
+    removed_arr = np.setdiff1d(np.arange(num_cols, dtype=np.int64), kept_arr)
     return ReductionResult(
         kept_columns=kept_arr, removed_columns=removed_arr, strategy=strategy
     )
 
 
 def _threshold_reduction(
-    R: np.ndarray,
+    R,
     v: np.ndarray,
     ascending: np.ndarray,
     variance_cutoff: float,
@@ -152,9 +167,7 @@ def _threshold_reduction(
 GAP_NOISE_FLOOR_RATIO = 1e-3
 
 
-def _gap_reduction(
-    R: np.ndarray, v: np.ndarray, ascending: np.ndarray
-) -> np.ndarray:
+def _gap_reduction(R, v: np.ndarray, ascending: np.ndarray) -> np.ndarray:
     """Keep the columns above the largest multiplicative variance gap.
 
     Under Assumption S.3 congested-link variances sit far above good-link
@@ -182,34 +195,31 @@ def _gap_reduction(
     return np.asarray(kept, dtype=np.int64)
 
 
-def _paper_reduction(R: np.ndarray, ascending: np.ndarray) -> np.ndarray:
-    """Exact result of the paper's drop-smallest loop, via binary search.
+def _paper_reduction(R, ascending: np.ndarray) -> np.ndarray:
+    """Exact result of the paper's drop-smallest loop, in one basis sweep.
 
-    Find the smallest ``t`` such that dropping the ``t`` lowest-variance
-    columns leaves a full-column-rank matrix.  Monotonicity argument: if
-    the columns kept at level ``t`` are independent, the subset kept at
-    ``t + 1`` is too.
+    The loop's kept set after ``t`` drops is ``descending[:n_c - t]``, a
+    prefix of the descending-variance order, and a superset of a
+    dependent set is dependent — so the loop stops at the longest
+    *independent* prefix.  Scanning descending with the incremental
+    basis, every column is accepted exactly while the prefix stays
+    independent; the first rejection marks the answer and ends the sweep
+    early.  Replaces the seed's binary search over full SVD ranks.
     """
-    n_cols = R.shape[1]
-    lo, hi = 0, n_cols  # invariant: full rank at hi, unknown below
-    if _matrix_rank(R) == n_cols:
-        return ascending  # already full rank, drop nothing
-    lo = 1
-    while lo < hi:
-        mid = (lo + hi) // 2
-        kept = ascending[mid:]
-        if _matrix_rank(R[:, kept]) == len(kept):
-            hi = mid
-        else:
-            lo = mid + 1
-    return ascending[hi:]
+    m, _, column = _column_accessor(R)
+    descending = ascending[::-1]
+    basis = IncrementalColumnBasis(dimension=m)
+    for position, col in enumerate(descending):
+        if not basis.try_add(column(int(col))):
+            return descending[:position]
+    return descending
 
 
 def solve_reduced_system(
-    routing_matrix: np.ndarray,
+    routing_matrix,
     path_log_rates: np.ndarray,
     reduction: ReductionResult,
-    solver: str = "lstsq",
+    solver: str = "auto",
 ) -> np.ndarray:
     """Solve ``Y = R* X*`` and re-embed into full link coordinates.
 
@@ -217,8 +227,23 @@ def solve_reduced_system(
     removed columns set to ``log 1 = 0`` (the paper's "approximate their
     loss rates by 0").  Estimated log rates are clipped to ``<= 0``:
     transmission rates cannot exceed 1.
+
+    *routing_matrix* may be dense or scipy sparse; only the kept-column
+    block ``R*`` is densified.  Solvers: ``"auto"`` (default) uses the
+    rank-revealing QR driver (LAPACK ``gelsy``) and falls back to the
+    minimum-norm ``lstsq`` if the kept set is numerically rank deficient
+    (it is full rank by construction for every built-in reduction
+    strategy, where the two solutions coincide); ``"lstsq"`` is the
+    seed's SVD-based path; ``"qr"`` is the paper's Householder
+    reference.  Callers solving *many* right-hand sides against one kept
+    set should go through :class:`repro.core.engine.InferenceEngine`,
+    which caches the ``R*`` factorization outright.
     """
-    R = np.asarray(routing_matrix, dtype=np.float64)
+    is_sparse = sparse.issparse(routing_matrix)
+    if is_sparse:
+        R = routing_matrix
+    else:
+        R = np.asarray(routing_matrix, dtype=np.float64)
     y = np.asarray(path_log_rates, dtype=np.float64)
     if y.shape != (R.shape[0],):
         raise ValueError("one log rate per path required")
@@ -226,8 +251,19 @@ def solve_reduced_system(
     x_full = np.zeros(R.shape[1], dtype=np.float64)
     if len(kept) == 0:
         return x_full
-    R_star = R[:, kept]
-    if solver == "lstsq":
+    if is_sparse:
+        R_star = np.asarray(R.tocsc()[:, kept].todense(), dtype=np.float64)
+    else:
+        R_star = R[:, kept]
+    if solver == "auto":
+        x_star, _, rank, _ = scipy_linalg.lstsq(
+            R_star, y, lapack_driver="gelsy", check_finite=False
+        )
+        if rank < len(kept):
+            # gelsy returns a basic solution on rank deficiency; match
+            # the seed's minimum-norm behaviour instead.
+            x_star, *_ = np.linalg.lstsq(R_star, y, rcond=None)
+    elif solver == "lstsq":
         x_star, *_ = np.linalg.lstsq(R_star, y, rcond=None)
     elif solver == "qr":
         from repro.core.linalg import solve_least_squares_qr

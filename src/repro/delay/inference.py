@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.augmented import IntersectingPairs, intersecting_pairs
 from repro.core.covariance import sample_covariance_pairs
+from repro.core.engine import FactorizationCache
 from repro.core.linalg import greedy_independent_columns
 from repro.delay.prober import DelayCampaign, DelaySnapshot
 from repro.topology.routing import RoutingMatrix
@@ -77,6 +78,9 @@ class DelayInferenceAlgorithm:
         self.routing = routing
         self.variance_cutoff_ms2 = variance_cutoff_ms2
         self._pairs: Optional[IntersectingPairs] = None
+        self._routing_sparse = routing.to_sparse()
+        self._factorizations = FactorizationCache(self._routing_sparse)
+        self._kept_cache: "dict[tuple, np.ndarray]" = {}
 
     @property
     def pairs(self) -> IntersectingPairs:
@@ -118,21 +122,41 @@ class DelayInferenceAlgorithm:
         """Attribute this snapshot's path-delay deviations to links."""
         if estimate.num_links != self.routing.num_links:
             raise ValueError("estimate does not match routing matrix")
-        v = estimate.variances
-        order = np.argsort(v)[::-1]
-        candidates = [int(c) for c in order if v[c] > self.variance_cutoff_ms2]
-        R = self.routing.to_dense()
-        kept = greedy_independent_columns(R, candidates)
+        kept = self._kept_columns(estimate)
         deviations = np.zeros(self.routing.num_links)
-        if kept:
+        if len(kept):
             centered = snapshot.path_delays - estimate.path_means
-            x, *_ = np.linalg.lstsq(R[:, kept], centered, rcond=None)
-            deviations[kept] = x
+            factorization = self._factorizations.factorization(kept)
+            deviations[kept] = factorization.solve(centered)
         return DelayInferenceResult(
             delay_deviations=deviations,
             variance_estimate=estimate,
-            kept_columns=np.asarray(sorted(kept), dtype=np.int64),
+            kept_columns=kept,
         )
+
+    def _kept_columns(self, estimate: DelayVarianceEstimate) -> np.ndarray:
+        """Memoized phase-2 column selection for one variance estimate.
+
+        The kept set (and therefore the ``R*`` factorization the cache
+        hands back) is fixed per estimate, so repeated inference against
+        one training window — the monitoring pattern — reduces once and
+        factorizes once.
+        """
+        v = estimate.variances
+        key = (v.tobytes(), self.variance_cutoff_ms2)
+        cached = self._kept_cache.get(key)
+        if cached is not None:
+            return cached
+        order = np.argsort(v)[::-1]
+        candidates = [int(c) for c in order if v[c] > self.variance_cutoff_ms2]
+        kept = np.asarray(
+            sorted(greedy_independent_columns(self._routing_sparse, candidates)),
+            dtype=np.int64,
+        )
+        if len(self._kept_cache) >= 8:
+            self._kept_cache.clear()
+        self._kept_cache[key] = kept
+        return kept
 
     def run(self, campaign: DelayCampaign) -> DelayInferenceResult:
         """Learn on all but the last snapshot; infer on the last."""

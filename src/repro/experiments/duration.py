@@ -89,9 +89,14 @@ def run(
         (prepared.routing.num_links, num_consecutive), dtype=bool
     )
     actual = np.zeros_like(inferred)
-    for t in range(num_consecutive):
-        snapshot = campaign.snapshots[params.snapshots + t]
-        result = lia.infer(snapshot, estimate)
+    # All consecutive snapshots share one variance estimate (and probe
+    # count), so the engine solves them as one multi-RHS system against a
+    # single R* factorization.
+    consecutive = campaign.snapshots[
+        params.snapshots : params.snapshots + num_consecutive
+    ]
+    results = lia.infer_batch(consecutive, estimate)
+    for t, (snapshot, result) in enumerate(zip(consecutive, results)):
         inferred[:, t] = result.loss_rates > THRESHOLD
         actual[:, t] = snapshot.virtual_congested(prepared.routing)
 

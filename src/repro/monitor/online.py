@@ -7,7 +7,11 @@ running service that sentence implies:
 
 * a **rolling window** of the last ``window`` snapshots feeds phase 1;
   the variance estimate refreshes every ``refresh_interval`` snapshots
-  (the expensive intersecting-pairs structure is built once);
+  (the expensive intersecting-pairs structure is built once, and the
+  :class:`~repro.core.engine.InferenceEngine` underneath memoizes the
+  phase-2 reduction per estimate and the ``R*`` factorization per
+  kept-column set, so between refreshes each localisation is a pair of
+  triangular solves);
 * every arriving snapshot is screened by a cheap **path-level z-score**
   against the window's running statistics; snapshots with anomalous
   paths trigger full LIA localisation;
@@ -111,6 +115,7 @@ class OnlineLossMonitor:
             routing, congestion_threshold=congestion_threshold
         )
         self._history: Deque[Snapshot] = deque(maxlen=window)
+        self._log_history: Deque[np.ndarray] = deque(maxlen=window)
         self._estimate: Optional[VarianceEstimate] = None
         self._since_refresh = 0
         self._time = -1
@@ -118,6 +123,11 @@ class OnlineLossMonitor:
         self._last_rates: Dict[int, float] = {}
 
     # -- state queries -------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The underlying :class:`~repro.core.engine.InferenceEngine`."""
+        return self._lia.engine
 
     @property
     def is_warm(self) -> bool:
@@ -149,6 +159,7 @@ class OnlineLossMonitor:
         )
 
         self._history.append(snapshot)
+        self._log_history.append(snapshot.path_log_rates())
         if not self.is_warm:
             return report
 
@@ -162,16 +173,18 @@ class OnlineLossMonitor:
             self._since_refresh += 1
 
         if self.localize_always or report.screened_anomalous or self._congested_since:
-            result = self._lia.infer(snapshot, self._estimate)
+            # The engine's reduction memo and factorization cache make
+            # this a pair of triangular solves between variance refreshes.
+            result = self.engine.infer(snapshot, self._estimate)
             report.loss_rates = result.loss_rates
             report.events = self._update_states(result.loss_rates)
         return report
 
     def _screen(self, snapshot: Snapshot) -> np.ndarray:
         """Cheap per-path z-score against the rolling window."""
-        if len(self._history) < 2:
+        if len(self._log_history) < 2:
             return np.zeros(snapshot.num_paths, dtype=bool)
-        Y = np.vstack([s.path_log_rates() for s in self._history])
+        Y = np.vstack(list(self._log_history))
         mean = Y.mean(axis=0)
         std = np.maximum(Y.std(axis=0, ddof=1), 1e-6)
         z = (snapshot.path_log_rates() - mean) / std

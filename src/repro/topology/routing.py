@@ -171,7 +171,15 @@ class RoutingMatrix:
         return sparse.csr_matrix(self.matrix.astype(dtype))
 
     def rank(self) -> int:
-        return int(np.linalg.matrix_rank(self.matrix.astype(np.float64)))
+        """Numerical column rank via the incremental-basis primitive.
+
+        Avoids the dense SVD of ``matrix_rank``: the basis sweep works
+        column by column on the sparse view, the same kernel the phase-2
+        reduction uses.
+        """
+        from repro.core.linalg import qr_column_rank
+
+        return qr_column_rank(self.to_sparse())
 
     def is_full_column_rank(self) -> bool:
         return self.rank() == self.num_links

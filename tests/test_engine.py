@@ -1,0 +1,189 @@
+"""Tests for the factorization-reusing inference engine."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.engine import FactorizationCache, InferenceEngine
+from repro.core.lia import LossInferenceAlgorithm
+from repro.core.reduction import reduce_to_full_rank, solve_reduced_system
+
+
+@pytest.fixture(scope="module")
+def trained(small_tree, tree_campaign):
+    _, _, routing = small_tree
+    lia = LossInferenceAlgorithm(routing)
+    training, target = tree_campaign.split_training_target()
+    estimate = lia.learn_variances(training)
+    return routing, lia, training, target, estimate
+
+
+class TestFactorizationCache:
+    def test_block_and_factorization(self):
+        rng = np.random.default_rng(0)
+        R = (rng.random(size=(20, 10)) < 0.4).astype(np.float64)
+        cache = FactorizationCache(R)
+        kept = np.array([1, 4, 7])
+        assert np.array_equal(cache.block(kept), R[:, kept])
+        factorization = cache.factorization(kept)
+        assert np.allclose(factorization.q @ factorization.r, R[:, kept], atol=1e-10)
+
+    def test_hit_and_miss_accounting(self):
+        R = np.eye(6)
+        cache = FactorizationCache(sparse.csr_matrix(R))
+        kept = np.array([0, 2])
+        first = cache.factorization(kept)
+        second = cache.factorization(np.array([0, 2]))
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        R = np.eye(8)
+        cache = FactorizationCache(R, max_entries=2)
+        a = cache.factorization(np.array([0]))
+        cache.factorization(np.array([1]))
+        cache.factorization(np.array([2]))  # evicts [0]
+        assert len(cache) == 2
+        again = cache.factorization(np.array([0]))
+        assert again is not a
+
+    def test_rejects_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            FactorizationCache(np.eye(2), max_entries=0)
+
+
+class TestEngineInference:
+    def test_matches_seed_pipeline(self, trained):
+        """Engine inference == seed reduce + lstsq solve, to tight tolerance."""
+        routing, lia, _, target, estimate = trained
+        result = lia.infer(target, estimate)
+        cutoff = (
+            lia.cutoff_scale * lia.congestion_threshold / target.num_probes
+        )
+        reduction = reduce_to_full_rank(
+            routing.matrix.astype(np.float64),
+            estimate.variances,
+            strategy="threshold",
+            variance_cutoff=cutoff,
+        )
+        assert np.array_equal(
+            result.reduction.kept_columns, reduction.kept_columns
+        )
+        x = solve_reduced_system(
+            routing.matrix.astype(np.float64),
+            target.path_log_rates(),
+            reduction,
+            solver="lstsq",
+        )
+        assert np.allclose(result.transmission_rates, np.exp(x), atol=1e-9)
+
+    def test_reduction_memoized_per_estimate(self, trained):
+        _, lia, _, target, estimate = trained
+        first = lia.infer(target, estimate)
+        second = lia.infer(target, estimate)
+        assert first.reduction is second.reduction
+
+    def test_factorization_reused_across_snapshots(self, small_tree, tree_campaign):
+        _, _, routing = small_tree
+        lia = LossInferenceAlgorithm(routing)
+        training, _ = tree_campaign.split_training_target()
+        estimate = lia.learn_variances(training)
+        cache = lia.engine.factorization_cache
+        for snapshot in tree_campaign.snapshots[-5:]:
+            lia.infer(snapshot, estimate)
+        assert cache.misses == 1
+        assert cache.hits == 4
+
+    def test_estimate_shape_validated(self, trained):
+        _, lia, _, target, _ = trained
+        from repro.core.variance import VarianceEstimate
+        from repro.core.covariance import CovarianceSummary
+
+        bogus = VarianceEstimate(
+            variances=np.ones(target.num_paths + 123),
+            method="wls",
+            covariance_summary=CovarianceSummary(2, 1, 0),
+            residual_norm=0.0,
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            lia.infer(target, bogus)
+
+    def test_pairs_setter_validates(self, trained, small_mesh):
+        routing, lia, _, _, _ = trained
+        _, _, other_routing = small_mesh
+        other = LossInferenceAlgorithm(other_routing)
+        with pytest.raises(ValueError, match="do not match"):
+            lia.engine.pairs = other.pairs
+        lia.engine.pairs = lia.pairs  # same structure is accepted
+
+
+class TestInferBatch:
+    def test_matches_per_snapshot_infer(self, small_tree, tree_campaign):
+        _, _, routing = small_tree
+        lia = LossInferenceAlgorithm(routing)
+        training, _ = tree_campaign.split_training_target()
+        estimate = lia.learn_variances(training)
+        tail = tree_campaign.snapshots[-6:]
+        batched = lia.infer_batch(tail, estimate)
+        assert len(batched) == len(tail)
+        for snapshot, result in zip(tail, batched):
+            single = lia.infer(snapshot, estimate)
+            assert np.allclose(
+                result.transmission_rates,
+                single.transmission_rates,
+                atol=1e-12,
+            )
+            assert np.array_equal(
+                result.reduction.kept_columns,
+                single.reduction.kept_columns,
+            )
+
+    def test_single_factorization_for_uniform_batch(self, small_tree, tree_campaign):
+        _, _, routing = small_tree
+        lia = LossInferenceAlgorithm(routing)
+        training, _ = tree_campaign.split_training_target()
+        estimate = lia.learn_variances(training)
+        cache = lia.engine.factorization_cache
+        lia.infer_batch(tree_campaign.snapshots[-8:], estimate)
+        assert cache.misses == 1
+
+    def test_empty_batch(self, trained):
+        _, lia, _, _, estimate = trained
+        assert lia.infer_batch([], estimate) == []
+
+    def test_empty_kept_set_batch(self, small_tree, tree_campaign):
+        """All-quiet variances keep nothing: rates are exactly 1."""
+        _, _, routing = small_tree
+        from repro.core.variance import VarianceEstimate
+        from repro.core.covariance import CovarianceSummary
+
+        engine = InferenceEngine(routing)
+        quiet = VarianceEstimate(
+            variances=np.zeros(routing.num_links),
+            method="wls",
+            covariance_summary=CovarianceSummary(2, 1, 0),
+            residual_norm=0.0,
+        )
+        results = engine.infer_batch(tree_campaign.snapshots[-3:], quiet)
+        for result in results:
+            assert np.array_equal(
+                result.transmission_rates, np.ones(routing.num_links)
+            )
+
+    def test_mixed_probe_counts_grouped(self, small_tree, tree_campaign):
+        """Snapshots with different S get their own cutoff (and group)."""
+        from dataclasses import replace
+
+        _, _, routing = small_tree
+        lia = LossInferenceAlgorithm(routing)
+        training, target = tree_campaign.split_training_target()
+        estimate = lia.learn_variances(training)
+        halved = replace(target, num_probes=target.num_probes // 2)
+        batched = lia.infer_batch([target, halved, target], estimate)
+        singles = [lia.infer(s, estimate) for s in (target, halved, target)]
+        for batch_result, single in zip(batched, singles):
+            assert np.allclose(
+                batch_result.transmission_rates,
+                single.transmission_rates,
+                atol=1e-12,
+            )

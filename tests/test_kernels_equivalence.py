@@ -1,0 +1,288 @@
+"""Equivalence tests pinning the blocked kernels to the seed paths.
+
+The blocked Householder QR, the array-backed incremental basis, and the
+sparse-aware reduction legitimately reorder floating-point sums, so they
+are pinned to the seed pure-Python implementations (kept as
+``*_reference``) and to numpy/scipy to tight tolerances rather than bit
+for bit.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.augmented import AugmentedMatrixBuilder, intersecting_pairs
+from repro.core.linalg import (
+    IncrementalColumnBasis,
+    QRFactorization,
+    back_substitution,
+    greedy_independent_columns,
+    householder_qr,
+    householder_qr_reference,
+    qr_column_rank,
+)
+from repro.core.reduction import reduce_to_full_rank, solve_reduced_system
+
+
+def random_matrix(m, n, seed):
+    return np.random.default_rng(seed).normal(size=(m, n))
+
+
+def random_binary(m, n, seed, density=0.25):
+    rng = np.random.default_rng(seed)
+    R = (rng.random(size=(m, n)) < density).astype(np.float64)
+    # Every column covered, per the routing-matrix precondition.
+    empty = np.flatnonzero(R.sum(axis=0) == 0)
+    R[rng.integers(0, m, size=len(empty)), empty] = 1.0
+    return R
+
+
+class TestBlockedQRAgainstSeed:
+    @pytest.mark.parametrize("shape", [(5, 5), (40, 17), (90, 64), (64, 64), (7, 1)])
+    @pytest.mark.parametrize("block_size", [1, 4, 32])
+    def test_matches_reference_factorization(self, shape, block_size):
+        A = random_matrix(*shape, seed=sum(shape) + block_size)
+        Q, R = householder_qr(A, block_size=block_size)
+        Q_ref, R_ref = householder_qr_reference(A)
+        # Same Householder sign convention -> same factorization, not
+        # just the same subspace.
+        assert np.allclose(R, R_ref, atol=1e-9)
+        assert np.allclose(Q, Q_ref, atol=1e-9)
+        assert np.allclose(Q @ R, A, atol=1e-10)
+        assert np.allclose(Q.T @ Q, np.eye(shape[1]), atol=1e-10)
+
+    def test_zero_columns_and_duplicates(self):
+        A = random_matrix(20, 6, seed=3)
+        A[:, 2] = 0.0
+        A[:, 4] = A[:, 1]
+        for block_size in (2, 32):
+            Q, R = householder_qr(A, block_size=block_size)
+            assert np.allclose(Q @ R, A, atol=1e-10)
+
+    def test_matches_numpy_qr_subspace(self):
+        A = random_matrix(50, 20, seed=4)
+        _, R = householder_qr(A)
+        _, R_np = np.linalg.qr(A)
+        assert np.allclose(np.abs(np.diag(R)), np.abs(np.diag(R_np)), atol=1e-9)
+
+
+class TestBatchedBasisAgainstSeed:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_acceptance_decisions(self, seed):
+        rng = np.random.default_rng(seed)
+        dim = 12
+        fast = IncrementalColumnBasis(dimension=dim)
+        ref = IncrementalColumnBasis(dimension=dim)
+        base = rng.normal(size=(dim, 6))
+        offers = []
+        for _ in range(30):
+            if rng.random() < 0.4:  # dependent offer
+                offers.append(base @ rng.normal(size=6))
+            else:
+                offers.append(rng.normal(size=dim))
+        decisions_fast = [fast.try_add(v) for v in offers]
+        decisions_ref = [ref.try_add_reference(v) for v in offers]
+        assert decisions_fast == decisions_ref
+        assert fast.rank == ref.rank
+        B_fast, B_ref = fast.basis_matrix, ref.basis_matrix
+        assert np.allclose(B_fast.T @ B_fast, np.eye(fast.rank), atol=1e-10)
+        # Same span either way.
+        assert np.allclose(
+            B_fast @ (B_fast.T @ B_ref), B_ref, atol=1e-8
+        )
+
+    def test_capacity_growth_beyond_initial(self):
+        dim = 100
+        basis = IncrementalColumnBasis(dimension=dim)
+        rng = np.random.default_rng(7)
+        for _ in range(70):
+            basis.try_add(rng.normal(size=dim))
+        assert basis.rank == 70
+        B = basis.basis_matrix
+        assert np.allclose(B.T @ B, np.eye(70), atol=1e-9)
+
+
+class TestSparseKernels:
+    def test_greedy_columns_sparse_matches_dense(self):
+        R = random_binary(30, 22, seed=11)
+        priority = np.random.default_rng(12).permutation(22)
+        dense = greedy_independent_columns(R, priority)
+        for fmt in (sparse.csr_matrix, sparse.csc_matrix):
+            assert greedy_independent_columns(fmt(R), priority) == dense
+
+    def test_qr_column_rank_sparse(self):
+        R = random_binary(25, 18, seed=13)
+        assert qr_column_rank(sparse.csr_matrix(R)) == np.linalg.matrix_rank(R)
+
+    @pytest.mark.parametrize("strategy", ["paper", "greedy", "gap"])
+    def test_reduction_sparse_matches_dense(self, strategy):
+        R = random_binary(40, 30, seed=14)
+        v = np.random.default_rng(15).random(30)
+        dense = reduce_to_full_rank(R, v, strategy=strategy)
+        sparse_result = reduce_to_full_rank(sparse.csr_matrix(R), v, strategy=strategy)
+        assert np.array_equal(dense.kept_columns, sparse_result.kept_columns)
+
+    def test_threshold_reduction_sparse_matches_dense(self):
+        R = random_binary(40, 30, seed=16)
+        v = np.random.default_rng(17).random(30)
+        dense = reduce_to_full_rank(
+            R, v, strategy="threshold", variance_cutoff=0.5
+        )
+        sp = reduce_to_full_rank(
+            sparse.csc_matrix(R), v, strategy="threshold", variance_cutoff=0.5
+        )
+        assert np.array_equal(dense.kept_columns, sp.kept_columns)
+
+    def test_solve_reduced_sparse_matches_dense(self):
+        R = random_binary(40, 30, seed=18)
+        v = np.random.default_rng(19).random(30)
+        reduction = reduce_to_full_rank(R, v, strategy="greedy")
+        y = -np.random.default_rng(20).random(40)
+        x_dense = solve_reduced_system(R, y, reduction)
+        x_sparse = solve_reduced_system(sparse.csr_matrix(R), y, reduction)
+        assert np.allclose(x_dense, x_sparse, atol=1e-12)
+
+
+class TestPaperSweepAgainstSeedSearch:
+    @staticmethod
+    def seed_binary_search(R, variances):
+        """The seed implementation: binary search over full SVD ranks."""
+        R = np.asarray(R, dtype=np.float64)
+        n_cols = R.shape[1]
+        ascending = np.lexsort((np.arange(len(variances)), variances))
+
+        def rank(M):
+            return 0 if M.shape[1] == 0 else int(np.linalg.matrix_rank(M))
+
+        lo, hi = 0, n_cols
+        if rank(R) == n_cols:
+            return np.sort(ascending)
+        lo = 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            kept = ascending[mid:]
+            if rank(R[:, kept]) == len(kept):
+                hi = mid
+            else:
+                lo = mid + 1
+        return np.sort(ascending[hi:])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sweep_matches_binary_search(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(8, 40))
+        n = int(rng.integers(4, 30))
+        R = random_binary(m, n, seed=seed + 100, density=0.3)
+        v = rng.random(n)
+        result = reduce_to_full_rank(R, v, strategy="paper")
+        assert np.array_equal(
+            result.kept_columns, self.seed_binary_search(R, v)
+        )
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("solver", ["auto", "qr"])
+    def test_matches_seed_lstsq(self, solver, figure2):
+        _, _, routing = figure2
+        rng = np.random.default_rng(21)
+        v = rng.random(routing.num_links)
+        reduction = reduce_to_full_rank(routing.matrix, v, strategy="paper")
+        y = -rng.random(routing.num_paths)
+        fast = solve_reduced_system(routing.matrix, y, reduction, solver=solver)
+        seed = solve_reduced_system(routing.matrix, y, reduction, solver="lstsq")
+        assert np.allclose(fast, seed, atol=1e-9)
+
+    def test_auto_falls_back_on_dependent_kept_set(self):
+        # A hand-built reduction with dependent kept columns must still
+        # produce the seed's minimum-norm-style answer, not garbage.
+        from repro.core.reduction import ReductionResult
+
+        R = np.zeros((4, 3))
+        R[:, 0] = [1, 1, 0, 0]
+        R[:, 1] = [1, 1, 0, 0]  # duplicate of column 0
+        R[:, 2] = [0, 0, 1, 1]
+        reduction = ReductionResult(
+            kept_columns=np.array([0, 1, 2]),
+            removed_columns=np.array([], dtype=np.int64),
+            strategy="paper",
+        )
+        y = -np.ones(4)
+        fast = solve_reduced_system(R, y, reduction, solver="auto")
+        seed = solve_reduced_system(R, y, reduction, solver="lstsq")
+        assert np.allclose(fast, seed, atol=1e-9)
+
+
+class TestQRFactorizationObject:
+    def test_downdate_matches_refactorization(self):
+        A = random_matrix(25, 9, seed=22)
+        factorization = QRFactorization.factorize(A, columns=range(9))
+        for position in (0, 3, 8):
+            down = factorization.remove_column(position)
+            B = np.delete(A, position, axis=1)
+            again = QRFactorization.factorize(B)
+            assert down.columns == tuple(
+                c for c in range(9) if c != position
+            )
+            assert np.allclose(down.q @ down.r, B, atol=1e-10)
+            b = np.linspace(-1, 1, 25)
+            assert np.allclose(down.solve(b), again.solve(b), atol=1e-9)
+
+    def test_chained_downdates(self):
+        A = random_matrix(15, 6, seed=23)
+        factorization = QRFactorization.factorize(A, columns=range(6))
+        down = factorization.remove_column(1).remove_column(3)
+        kept = [0, 2, 3, 5]
+        assert down.columns == tuple(kept)
+        assert np.allclose(down.q @ down.r, A[:, kept], atol=1e-10)
+
+    def test_householder_method_matches_lapack(self):
+        A = random_matrix(30, 12, seed=24)
+        b = random_matrix(30, 1, seed=25).ravel()
+        lapack = QRFactorization.factorize(A, method="lapack")
+        householder = QRFactorization.factorize(A, method="householder")
+        assert np.allclose(lapack.solve(b), householder.solve(b), atol=1e-8)
+
+    def test_multi_rhs_matches_column_loop(self):
+        A = random_matrix(30, 12, seed=26)
+        B = random_matrix(30, 7, seed=27)
+        factorization = QRFactorization.factorize(A)
+        X = factorization.solve(B)
+        for j in range(B.shape[1]):
+            assert np.allclose(X[:, j], factorization.solve(B[:, j]), atol=1e-12)
+
+
+class TestBackSubstitutionFastPath:
+    def test_lapack_path_matches_loop(self):
+        U = np.triu(random_matrix(30, 30, seed=28)) + 5 * np.eye(30)
+        x = np.arange(1.0, 31.0)
+        assert np.allclose(back_substitution(U, U @ x), x, atol=1e-9)
+
+    def test_degenerate_path_unchanged(self):
+        U = np.array([[2.0, 1.0, 0.0], [0.0, 0.0, 3.0], [0.0, 0.0, 4.0]])
+        b = np.array([2.0, 3.0, 4.0])
+        x = back_substitution(U, b)
+        assert x[1] == 0.0  # zero pivot -> zero component
+
+
+class TestBuilderIncrementalEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_interleaved_adds_and_removes(self, seed):
+        rng = np.random.default_rng(seed)
+        num_links = 15
+        builder = AugmentedMatrixBuilder(num_links)
+        for _ in range(10):
+            builder.add_path(rng.integers(0, num_links, size=rng.integers(1, 5)))
+        for step in range(12):
+            if builder.num_paths > 2 and rng.random() < 0.4:
+                builder.remove_path(int(rng.integers(0, builder.num_paths)))
+            else:
+                builder.add_path(
+                    rng.integers(0, num_links, size=rng.integers(1, 5))
+                )
+            built = builder.build()
+            direct = intersecting_pairs(builder.routing_matrix())
+            assert np.array_equal(
+                built.matrix.toarray(), direct.matrix.toarray()
+            )
+            assert np.array_equal(built.pair_i, direct.pair_i)
+            assert np.array_equal(built.pair_j, direct.pair_j)

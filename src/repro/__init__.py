@@ -21,8 +21,15 @@ Quickstart::
     campaign = sim.run_campaign(51, routing, seed=7)
     result = LossInferenceAlgorithm(routing).run(campaign)
     print(result.loss_rates)
+
+Every inference backend — LIA, delay tomography, and the SCFS/CLINK/
+greedy-cover baselines — is also reachable through the unified
+:mod:`repro.api` seam (``fit``/``predict`` estimators, a string-keyed
+registry, and the declarative ``Scenario`` pipeline); see the README's
+"Estimator / Scenario API" section.
 """
 
+from repro.api import EstimatorSpec, InferenceResult, Scenario, ScenarioResult
 from repro.core.lia import LIAResult, LossInferenceAlgorithm
 from repro.core.identifiability import audit_identifiability
 from repro.core.variance import VarianceEstimate, estimate_link_variances
@@ -56,7 +63,9 @@ __all__ = [
     "LLRD1",
     "LLRD2",
     "BernoulliProcess",
+    "EstimatorSpec",
     "GilbertProcess",
+    "InferenceResult",
     "LIAResult",
     "LossInferenceAlgorithm",
     "LossRateModel",
@@ -66,6 +75,8 @@ __all__ = [
     "ProberConfig",
     "ProbingSimulator",
     "RoutingMatrix",
+    "Scenario",
+    "ScenarioResult",
     "Snapshot",
     "VarianceEstimate",
     "audit_identifiability",

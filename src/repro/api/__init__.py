@@ -1,0 +1,65 @@
+"""repro.api — the unified estimator protocol and scenario pipeline.
+
+One composable seam over every inference backend:
+
+* :class:`Estimator` — ``fit(campaign) -> self`` /
+  ``predict(snapshot) -> InferenceResult`` / ``predict_batch(window)``,
+  plus a ``spec()``/``from_spec()`` config round-trip;
+* :mod:`repro.api.registry` — string-keyed construction
+  (``get("lia"|"delay"|"scfs"|"clink"|"tomo")``) and ``register`` for
+  external backends;
+* :class:`Scenario` — a declarative topology → prober → estimator(s) →
+  metrics pipeline returning a :class:`ScenarioResult` with
+  per-estimator accuracy reports.
+
+Quickstart::
+
+    from repro.api import EstimatorSpec, Scenario, get
+    from repro.experiments import scale_params
+
+    scenario = Scenario(
+        topology="tree",
+        params=scale_params("tiny"),
+        num_training=10,
+        estimators=(EstimatorSpec("lia"), EstimatorSpec("scfs")),
+    )
+    outcome = scenario.run(seed=7)
+    for label in outcome.labels():
+        print(label, outcome.evaluation(label).detection.detection_rate)
+"""
+
+from repro.api.adapters import (
+    CLINKEstimator,
+    DelayEstimator,
+    LIAEstimator,
+    SCFSEstimator,
+    TomoEstimator,
+)
+from repro.api.estimator import (
+    Estimator,
+    EstimatorSpec,
+    InferenceResult,
+    NotFittedError,
+)
+from repro.api.registry import available, from_spec, get, register, unregister
+from repro.api.scenario import EstimatorEvaluation, Scenario, ScenarioResult
+
+__all__ = [
+    "CLINKEstimator",
+    "DelayEstimator",
+    "Estimator",
+    "EstimatorEvaluation",
+    "EstimatorSpec",
+    "InferenceResult",
+    "LIAEstimator",
+    "NotFittedError",
+    "SCFSEstimator",
+    "Scenario",
+    "ScenarioResult",
+    "TomoEstimator",
+    "available",
+    "from_spec",
+    "get",
+    "register",
+    "unregister",
+]

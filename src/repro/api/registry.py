@@ -1,0 +1,84 @@
+"""String-keyed registry of estimator backends.
+
+The one place that maps method names to adapter classes::
+
+    from repro.api import registry
+    estimator = registry.get("lia", reduction_strategy="gap")
+    registry.available()            # ("clink", "delay", "lia", "scfs", "tomo")
+
+``register`` lets downstream code (a distributed backend, a notebook
+prototype) plug in new estimators without touching this package; the CLI
+(``repro infer --method`` / ``repro compare``) and
+:class:`~repro.api.scenario.Scenario` dispatch exclusively through here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Type
+
+from repro.api.adapters import (
+    CLINKEstimator,
+    DelayEstimator,
+    LIAEstimator,
+    SCFSEstimator,
+    TomoEstimator,
+)
+from repro.api.estimator import Estimator, EstimatorSpec
+
+_REGISTRY: Dict[str, Callable[..., Estimator]] = {
+    LIAEstimator.name: LIAEstimator,
+    DelayEstimator.name: DelayEstimator,
+    SCFSEstimator.name: SCFSEstimator,
+    CLINKEstimator.name: CLINKEstimator,
+    TomoEstimator.name: TomoEstimator,
+}
+
+
+def available() -> Tuple[str, ...]:
+    """Registered method names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get(name: str, **params) -> Estimator:
+    """Build a fresh estimator for *name* with the given parameters."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown estimator {name!r}; registered: {', '.join(available())}"
+        ) from None
+    return factory(**params)
+
+
+def register(
+    name: str, factory: Callable[..., Estimator], overwrite: bool = False
+) -> None:
+    """Add (or, with *overwrite*, replace) a backend under *name*."""
+    if not name:
+        raise ValueError("estimator name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"estimator {name!r} already registered (pass overwrite=True)"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister(name: str) -> None:
+    """Remove a backend (built-ins included — tests restore them)."""
+    _REGISTRY.pop(name, None)
+
+
+def estimator_class(name: str) -> Type:
+    """The registered factory itself (for ``from_spec`` classmethods)."""
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown estimator {name!r}; registered: {', '.join(available())}"
+        )
+    return _REGISTRY[name]  # type: ignore[return-value]
+
+
+def from_spec(spec) -> Estimator:
+    """Build an estimator from an :class:`EstimatorSpec` or its dict form."""
+    if not isinstance(spec, EstimatorSpec):
+        spec = EstimatorSpec.from_dict(spec)
+    return get(spec.method, **spec.params)

@@ -1,0 +1,356 @@
+"""Declarative scenario pipeline: topology → probe → estimate → score.
+
+A :class:`Scenario` is the whole evaluation loop every experiment module
+used to hand-wire, as one reusable object::
+
+    topology generator → fluttering cleanup → prober → estimator(s) → metrics
+
+Declare the pieces, call :meth:`Scenario.run` with a seed, and get a
+:class:`ScenarioResult` carrying per-estimator detection outcomes and
+:class:`~repro.metrics.AccuracyReport`s.  The experiment modules phrase
+their trial functions as scenario runs, so adding a topology knob, an
+estimator, or a metric touches this module once instead of a dozen
+trial loops.
+
+Seed discipline matches the historical experiment wiring exactly: the
+topology is generated with ``derive_seed(seed, topology_salt)`` and the
+campaign with ``derive_seed(seed, campaign_salt)``, so rewired
+experiments stay seed-for-seed identical to their pre-Scenario
+payloads (pinned in ``tests/test_api.py``).
+
+The stages are also usable à la carte — :meth:`Scenario.prepare`,
+:meth:`Scenario.simulate` and :meth:`Scenario.evaluate` — for studies
+that splice extra steps into the middle (fig9 inserts its simulated
+traceroute measurement between topology and inference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.estimator import EstimatorSpec, InferenceResult
+from repro.lossmodel import LLRD1, LossRateModel
+from repro.lossmodel.processes import LossProcess
+from repro.metrics import (
+    AccuracyReport,
+    DetectionOutcome,
+    detection_outcome,
+    evaluate_location,
+)
+from repro.probing import MeasurementCampaign, ProberConfig, ProbingSimulator
+from repro.probing.snapshot import Snapshot
+from repro.topology.prepare import PreparedTopology, prepare_topology
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class EstimatorEvaluation:
+    """One estimator's scored predictions over the target snapshots.
+
+    ``num_training`` is the training-window length this evaluation used
+    (``None`` for estimators that do not learn from history, evaluated
+    once per scenario).  ``detections`` align with the targets that
+    carried ground truth; ``accuracy`` compares inferred rates against
+    the last target's realized per-column loss fractions and is ``None``
+    for binary/delay estimators or truth-free campaigns.
+    """
+
+    spec: EstimatorSpec
+    label: str
+    num_training: Optional[int]
+    results: List[InferenceResult]
+    detections: List[DetectionOutcome] = field(default_factory=list)
+    accuracy: Optional[AccuracyReport] = None
+
+    @property
+    def result(self) -> InferenceResult:
+        """The prediction for the (last) target snapshot."""
+        return self.results[-1]
+
+    @property
+    def detection(self) -> DetectionOutcome:
+        """The detection outcome on the (last) scored target."""
+        if not self.detections:
+            raise ValueError(
+                f"estimator {self.label!r} has no detection outcomes "
+                "(targets carried no ground truth)"
+            )
+        return self.detections[-1]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced, queryable per estimator."""
+
+    scenario: "Scenario"
+    prepared: PreparedTopology
+    campaign: MeasurementCampaign
+    targets: List[Snapshot]
+    evaluations: List[EstimatorEvaluation]
+
+    def evaluation(
+        self, label: str, num_training: Optional[int] = None
+    ) -> EstimatorEvaluation:
+        """The evaluation for *label* (and window length, when swept)."""
+        matches = [
+            e
+            for e in self.evaluations
+            if e.label == label
+            and (num_training is None or e.num_training == num_training)
+        ]
+        if not matches:
+            raise KeyError(
+                f"no evaluation for estimator {label!r}"
+                + (f" at m={num_training}" if num_training is not None else "")
+            )
+        if len(matches) > 1:
+            raise KeyError(
+                f"estimator {label!r} was evaluated at several window "
+                "lengths; pass num_training"
+            )
+        return matches[0]
+
+    def labels(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for evaluation in self.evaluations:
+            if evaluation.label not in seen:
+                seen.append(evaluation.label)
+        return tuple(seen)
+
+
+@dataclass
+class Scenario:
+    """Declarative description of one evaluation pipeline.
+
+    Parameters
+    ----------
+    topology, params:
+        Generator kind (see :func:`repro.topology.prepare.make_topology`)
+        and sizing (any object with ``tree_nodes``/``mesh_nodes``/
+        ``num_end_hosts``; the experiment harness passes its
+        ``ScaleParams`` presets).  ``params`` may stay ``None`` when a
+        pre-built topology is passed to :meth:`run`.
+    prober, model, process:
+        Probing knobs (:class:`~repro.probing.ProberConfig`), the
+        two-class loss-rate model, and optionally a non-default loss
+        process.
+    estimators:
+        The :class:`~repro.api.EstimatorSpec`s to fit and score.
+    num_training, training_grid, num_targets:
+        The campaign holds ``max(grid) + num_targets`` snapshots; each
+        learning estimator is fitted on suffix windows
+        ``snapshots[max_m - m : max_m]`` for every ``m`` in the grid
+        (default grid: ``(num_training,)``) and scored on the trailing
+        ``num_targets`` snapshots.
+    topology_salt, campaign_salt:
+        Sub-seed derivation indices (the historical per-experiment
+        values; defaults match the common wiring).
+    propensities, propensity_salt:
+        Optional hook building explicit per-physical-link congestion
+        propensities from the prepared topology (Table 3's inter-AS
+        boost); called as ``propensities(prepared, derived_seed)``.
+    """
+
+    topology: str = "tree"
+    params: Optional[object] = None
+    prober: ProberConfig = field(default_factory=ProberConfig)
+    model: LossRateModel = LLRD1
+    process: Optional[LossProcess] = None
+    estimators: Tuple[EstimatorSpec, ...] = (EstimatorSpec("lia"),)
+    num_training: int = 50
+    training_grid: Optional[Tuple[int, ...]] = None
+    num_targets: int = 1
+    topology_salt: int = 0
+    campaign_salt: int = 1
+    propensities: Optional[
+        Callable[[PreparedTopology, Optional[int]], np.ndarray]
+    ] = None
+    propensity_salt: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_targets < 1:
+            raise ValueError("num_targets must be at least 1")
+        if self.training_grid is not None and (
+            not self.training_grid or min(self.training_grid) < 1
+        ):
+            raise ValueError("training_grid must hold positive window lengths")
+        if self.training_grid is None and self.num_training < 1:
+            raise ValueError("num_training must be at least 1")
+        if not self.estimators:
+            raise ValueError("a scenario needs at least one estimator")
+
+    # -- derived sizes ---------------------------------------------------------
+
+    @property
+    def grid(self) -> Tuple[int, ...]:
+        """Training-window lengths to evaluate, in declaration order."""
+        if self.training_grid is not None:
+            return tuple(int(m) for m in self.training_grid)
+        return (int(self.num_training),)
+
+    @property
+    def campaign_length(self) -> int:
+        """Snapshots one run simulates: longest window + targets."""
+        return max(self.grid) + self.num_targets
+
+    # -- pipeline stages -------------------------------------------------------
+
+    def prepare(self, seed: Optional[int] = None) -> PreparedTopology:
+        """Stage 1+2: topology generation and fluttering cleanup."""
+        if self.params is None:
+            raise ValueError(
+                "scenario has no sizing params; pass prepared= to run()"
+            )
+        return prepare_topology(
+            self.topology, self.params, derive_seed(seed, self.topology_salt)
+        )
+
+    def build_simulator(self, prepared: PreparedTopology) -> ProbingSimulator:
+        """The prober over a prepared topology."""
+        return ProbingSimulator(
+            prepared.paths,
+            prepared.topology.network.num_links,
+            model=self.model,
+            process=self.process,
+            config=self.prober,
+        )
+
+    def simulate(
+        self,
+        prepared: PreparedTopology,
+        seed: Optional[int] = None,
+        campaign_seed: Optional[int] = None,
+        length: Optional[int] = None,
+    ) -> MeasurementCampaign:
+        """Stage 3: run the probing campaign.
+
+        *campaign_seed* bypasses the salt derivation (callers that manage
+        their own seed streams); *length* overrides the campaign length
+        (measurement-only studies).
+        """
+        if campaign_seed is None:
+            campaign_seed = derive_seed(seed, self.campaign_salt)
+        propensities = None
+        if self.propensities is not None:
+            propensities = self.propensities(
+                prepared, derive_seed(seed, self.propensity_salt)
+            )
+        return self.build_simulator(prepared).run_campaign(
+            length if length is not None else self.campaign_length,
+            prepared.routing,
+            seed=campaign_seed,
+            propensities=propensities,
+        )
+
+    # -- estimation + scoring --------------------------------------------------
+
+    def evaluate(
+        self, prepared: PreparedTopology, campaign: MeasurementCampaign
+    ) -> ScenarioResult:
+        """Stages 4+5: fit/predict every estimator and score it."""
+        routing = prepared.routing
+        max_m = len(campaign) - self.num_targets
+        if max_m < 1:
+            raise ValueError(
+                f"campaign of {len(campaign)} snapshots cannot hold "
+                f"{self.num_targets} targets plus a training window"
+            )
+        if max(self.grid) > max_m:
+            raise ValueError(
+                f"training window {max(self.grid)} exceeds the "
+                f"{max_m} available training snapshots"
+            )
+        targets = list(campaign.snapshots[max_m:])
+        evaluations: List[EstimatorEvaluation] = []
+        for spec in self.estimators:
+            estimator = spec.build()
+            if getattr(estimator, "uses_training", True):
+                for m in self.grid:
+                    training = MeasurementCampaign(
+                        routing=routing,
+                        snapshots=campaign.snapshots[max_m - m : max_m],
+                    )
+                    estimator.fit(training, paths=prepared.paths)
+                    evaluations.append(
+                        self._score(spec, estimator, m, targets, routing)
+                    )
+            else:
+                context = MeasurementCampaign(
+                    routing=routing, snapshots=campaign.snapshots[:max_m]
+                )
+                estimator.fit(context, paths=prepared.paths)
+                evaluations.append(
+                    self._score(spec, estimator, None, targets, routing)
+                )
+        return ScenarioResult(
+            scenario=self,
+            prepared=prepared,
+            campaign=campaign,
+            targets=targets,
+            evaluations=evaluations,
+        )
+
+    def _score(
+        self,
+        spec: EstimatorSpec,
+        estimator,
+        num_training: Optional[int],
+        targets: Sequence[Snapshot],
+        routing,
+    ) -> EstimatorEvaluation:
+        if len(targets) > 1:
+            results = estimator.predict_batch(targets)
+        else:
+            results = [estimator.predict(targets[0])]
+        detections: List[DetectionOutcome] = []
+        for target, result in zip(targets, results):
+            if target.truth is None:
+                continue
+            truth = target.virtual_congested(routing)
+            if result.congested_columns is not None:
+                detections.append(
+                    detection_outcome(result.congested_mask(), truth)
+                )
+            elif result.kind == "rates":
+                detections.append(
+                    evaluate_location(
+                        result.values, truth, routing, self.model.threshold
+                    )
+                )
+        accuracy = None
+        last_target, last_result = targets[-1], results[-1]
+        if (
+            last_result.kind == "rates"
+            and last_target.realized_loss_fractions is not None
+        ):
+            accuracy = AccuracyReport.compare(
+                last_target.realized_virtual_loss_rates(routing),
+                last_result.values,
+            )
+        return EstimatorEvaluation(
+            spec=spec,
+            label=spec.display_label,
+            num_training=num_training,
+            results=results,
+            detections=detections,
+            accuracy=accuracy,
+        )
+
+    # -- end to end ------------------------------------------------------------
+
+    def run(
+        self,
+        seed: Optional[int] = None,
+        prepared: Optional[PreparedTopology] = None,
+        campaign: Optional[MeasurementCampaign] = None,
+        campaign_seed: Optional[int] = None,
+    ) -> ScenarioResult:
+        """The full pipeline; stages already in hand can be passed in."""
+        if prepared is None:
+            prepared = self.prepare(seed)
+        if campaign is None:
+            campaign = self.simulate(prepared, seed, campaign_seed=campaign_seed)
+        return self.evaluate(prepared, campaign)

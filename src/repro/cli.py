@@ -1,6 +1,6 @@
-"""Command-line interface: audit, simulate, infer, experiments.
+"""Command-line interface: audit, simulate, infer, compare, experiments.
 
-Four verbs covering the operational loop without writing Python:
+Five verbs covering the operational loop without writing Python:
 
 ``audit``
     generate (or size up) a monitoring layout and print its
@@ -10,8 +10,12 @@ Four verbs covering the operational loop without writing Python:
     run a probing campaign over a generated topology and write it as a
     JSON campaign document (the same format external measurements use);
 ``infer``
-    run LIA on a campaign document and print the congested links with
-    their inferred loss rates;
+    run one estimator (``--method lia|scfs|clink|tomo``, dispatched
+    through the ``repro.api`` registry) on a campaign document and print
+    the congested links it reports;
+``compare``
+    run several estimators over one campaign document and print a
+    side-by-side table of their verdicts per link;
 ``experiments``
     regenerate the paper's tables/figures through the parallel sharded
     runner (``--jobs``, ``--cache-dir``; see ``repro.runner``).
@@ -22,6 +26,8 @@ Examples::
     python -m repro simulate --topology planetlab --snapshots 31 \
         --out campaign.json
     python -m repro infer campaign.json --threshold 0.002
+    python -m repro infer campaign.json --method scfs
+    python -m repro compare campaign.json --methods lia,scfs,tomo
     python -m repro experiments fig5 --scale small --jobs -1 \
         --cache-dir .repro-cache
 """
@@ -44,14 +50,19 @@ TOPOLOGY_CHOICES = (
     "dimes",
 )
 
-# Static mirrors of repro.experiments.EXPERIMENTS / SCALES so building the
-# parser never imports the experiment modules (scipy and the full netsim
-# stack) for verbs that don't use them; tests pin them in sync.
+# Static mirrors of repro.experiments.EXPERIMENTS / SCALES and of
+# repro.api.registry.available() so building the parser never imports
+# the experiment modules (scipy and the full netsim stack) for verbs
+# that don't use them; tests pin them in sync with the real registries.
 EXPERIMENT_CHOICES = (
     "ablations", "duration", "fig3", "fig5", "fig6", "fig7", "fig8",
     "fig9", "table2", "table3", "timing",
 )
 SCALE_CHOICES = ("tiny", "small", "paper")
+METHOD_CHOICES = ("clink", "delay", "lia", "scfs", "tomo")
+#: The methods a *loss* campaign document can drive (``delay`` consumes
+#: delay campaigns, which have no document format yet).
+LOSS_METHOD_CHOICES = ("clink", "lia", "scfs", "tomo")
 
 
 def _build_topology(kind: str, size: int, hosts: int, seed: Optional[int]):
@@ -150,41 +161,144 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_estimator(method: str, threshold: float):
+    """Registry dispatch with the CLI threshold routed to the right knob."""
+    from repro.api import registry
+
+    if method == "lia":
+        return registry.get("lia", congestion_threshold=threshold)
+    return registry.get(method, link_threshold=threshold)
+
+
+def _fit_predict(document, training, target, method: str, threshold: float):
+    """Fit *method* on the training window, predict the target snapshot."""
+    estimator = _build_estimator(method, threshold)
+    estimator.fit(training, paths=document.paths)
+    return estimator.predict(target)
+
+
+def _check_loss_method(method: str) -> bool:
+    if method in LOSS_METHOD_CHOICES:
+        return True
+    print(
+        f"method {method!r} does not consume loss campaign documents; "
+        f"choose one of {', '.join(LOSS_METHOD_CHOICES)}",
+        file=sys.stderr,
+    )
+    return False
+
+
 def cmd_infer(args: argparse.Namespace) -> int:
-    from repro.core.lia import LossInferenceAlgorithm
     from repro.io import load_campaign
     from repro.utils.tables import TextTable
 
+    if not _check_loss_method(args.method):
+        return 2
     document = load_campaign(args.document)
-    routing = document.routing()
-    campaign = document.campaign()
-    if len(campaign) < 2:
+    if len(document.snapshots) < 2:
         print("document needs at least 2 snapshots", file=sys.stderr)
         return 2
-    lia = LossInferenceAlgorithm(
-        routing, congestion_threshold=args.threshold
-    )
-    result = lia.run(campaign)
-    congested = np.flatnonzero(result.loss_rates > args.threshold)
+    campaign = document.campaign()
+    routing = campaign.routing
+    training, target = campaign.split_training_target()
+    result = _fit_predict(document, training, target, args.method, args.threshold)
+    num_training = len(training)
+    if result.congested_columns is not None:
+        congested = np.asarray(sorted(result.congested_columns), dtype=np.int64)
+        verdict = f"{len(congested)} links flagged congested by {args.method}"
+    else:
+        congested = np.flatnonzero(result.loss_rates > args.threshold)
+        verdict = f"{len(congested)} links above t_l={args.threshold}"
     print(
         f"{routing.num_paths} paths x {routing.num_links} links; "
-        f"trained on {len(campaign) - 1} snapshots; "
-        f"{len(congested)} links above t_l={args.threshold}"
+        f"trained on {num_training} snapshots; {verdict}"
     )
     table = TextTable(["link column", "physical links", "inferred loss"])
     for column in sorted(
-        congested, key=lambda c: -result.loss_rates[c]
+        congested, key=lambda c: (-result.values[c], c)
     )[: args.top]:
         vlink = routing.virtual_links[int(column)]
         table.add_row(
             [
                 int(column),
                 ",".join(str(i) for i in vlink.member_indices()),
-                float(result.loss_rates[column]),
+                float(result.values[column]),
             ]
         )
     if len(table):
         print(table.render())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.io import load_campaign
+    from repro.utils.tables import TextTable
+
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    if not methods:
+        print("no methods given", file=sys.stderr)
+        return 2
+    for method in methods:
+        if method not in METHOD_CHOICES:
+            print(
+                f"unknown method {method!r}; choose from "
+                f"{', '.join(METHOD_CHOICES)}",
+                file=sys.stderr,
+            )
+            return 2
+        if not _check_loss_method(method):
+            return 2
+    document = load_campaign(args.document)
+    if len(document.snapshots) < 2:
+        print("document needs at least 2 snapshots", file=sys.stderr)
+        return 2
+    # Campaign, routing matrix and split are built once and shared by
+    # every method; only the estimators themselves differ.
+    campaign = document.campaign()
+    routing = campaign.routing
+    training, target = campaign.split_training_target()
+
+    results = {}
+    flagged = {}
+    for method in methods:
+        result = _fit_predict(document, training, target, method, args.threshold)
+        results[method] = result
+        if result.congested_columns is not None:
+            flagged[method] = set(result.congested_columns)
+        else:
+            flagged[method] = set(
+                int(c)
+                for c in np.flatnonzero(result.loss_rates > args.threshold)
+            )
+
+    print(
+        f"{routing.num_paths} paths x {routing.num_links} links; "
+        f"trained on {len(training)} snapshots; "
+        f"t_l={args.threshold}"
+    )
+    for method in methods:
+        print(f"  {method}: {len(flagged[method])} links flagged")
+
+    union = sorted(set().union(*flagged.values()))
+    table = TextTable(["link column", "physical links"] + list(methods))
+    for column in union[: args.top]:
+        vlink = routing.virtual_links[column]
+        row: List[object] = [
+            column,
+            ",".join(str(i) for i in vlink.member_indices()),
+        ]
+        for method in methods:
+            result = results[method]
+            if result.congested_columns is None:
+                # Rate estimator: always show its estimate for this link.
+                row.append(float(result.values[column]))
+            else:
+                row.append("X" if column in flagged[method] else "")
+        table.add_row(row)
+    if len(table):
+        print(table.render())
+    else:
+        print("no method flagged any link")
     return 0
 
 
@@ -230,11 +344,33 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--out", required=True)
     simulate.set_defaults(func=cmd_simulate)
 
-    infer = sub.add_parser("infer", help="run LIA on a campaign document")
+    infer = sub.add_parser(
+        "infer", help="run one estimator on a campaign document"
+    )
     infer.add_argument("document")
+    infer.add_argument(
+        "--method",
+        choices=METHOD_CHOICES,
+        default="lia",
+        help="estimator to run (repro.api registry name)",
+    )
     infer.add_argument("--threshold", type=float, default=0.002)
     infer.add_argument("--top", type=int, default=20, help="rows to print")
     infer.set_defaults(func=cmd_infer)
+
+    compare = sub.add_parser(
+        "compare",
+        help="run several estimators on one campaign document, side by side",
+    )
+    compare.add_argument("document")
+    compare.add_argument(
+        "--methods",
+        default="lia,scfs,clink,tomo",
+        help="comma-separated registry names (default: all loss estimators)",
+    )
+    compare.add_argument("--threshold", type=float, default=0.002)
+    compare.add_argument("--top", type=int, default=30, help="rows to print")
+    compare.set_defaults(func=cmd_compare)
 
     from repro.runner.args import add_runner_arguments
 

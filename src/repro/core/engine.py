@@ -76,11 +76,27 @@ class FactorizationCache:
     by the kept-column index set.  Consecutive inferences with the same
     kept set — rolling-window monitoring, consecutive-snapshot
     experiments, every batch — pay for one factorization total.
+
+    With ``downdate_limit > 0``, a requested kept set that is a subset
+    of a cached one missing at most that many columns — the
+    rolling-monitor pattern where a variance refresh exonerates a link
+    or two — is served by *downdating* the cached factorization with
+    Givens rotations
+    (:meth:`~repro.core.linalg.QRFactorization.remove_column`) instead
+    of refactorizing from scratch: O(m k) per removed column versus
+    O(m k^2) for a fresh QR.  The downdated factors equal a fresh QR
+    only to working precision, so the default is 0 (off) and long-lived
+    consumers (:class:`repro.monitor.OnlineLossMonitor`) opt in; batch
+    experiment pipelines stay bit-identical to a cold engine.
     """
 
-    def __init__(self, matrix, max_entries: int = 8) -> None:
+    def __init__(
+        self, matrix, max_entries: int = 8, downdate_limit: int = 0
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if downdate_limit < 0:
+            raise ValueError("downdate_limit must be non-negative")
         if sparse.issparse(matrix):
             self._matrix = matrix.tocsc().astype(np.float64)
         else:
@@ -89,9 +105,11 @@ class FactorizationCache:
                 raise ValueError("matrix must be two-dimensional")
             self._matrix = sparse.csc_matrix(dense)
         self.max_entries = max_entries
+        self.downdate_limit = downdate_limit
         self._cache: "OrderedDict[bytes, QRFactorization]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.downdates = 0
 
     @property
     def num_rows(self) -> int:
@@ -118,12 +136,103 @@ class FactorizationCache:
             self.hits += 1
             self._cache.move_to_end(key)
             return cached
-        self.misses += 1
-        factorization = QRFactorization.factorize(self.block(kept), columns=kept)
+        factorization = self._downdate_from_superset(kept)
+        if factorization is not None:
+            self.downdates += 1
+        else:
+            self.misses += 1
+            factorization = QRFactorization.factorize(
+                self.block(kept), columns=kept
+            )
         self._cache[key] = factorization
         while len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
         return factorization
+
+    def _downdate_from_superset(
+        self, kept: np.ndarray
+    ) -> Optional[QRFactorization]:
+        """Givens-downdate a cached superset factorization, if one is close.
+
+        Scans most-recently-used first for a full-rank cached
+        factorization whose column set contains *kept* with at most
+        ``downdate_limit`` extras; the best (fewest-extras) candidate is
+        shrunk column by column.  Returns ``None`` when no candidate
+        exists or the downdated factorization lost full rank (the caller
+        then refactorizes from scratch).
+        """
+        if self.downdate_limit == 0 or not len(self._cache):
+            return None
+        wanted = set(int(c) for c in kept)
+        best: Optional[QRFactorization] = None
+        for candidate in reversed(self._cache.values()):
+            extra = len(candidate.columns) - len(wanted)
+            if not 0 < extra <= self.downdate_limit:
+                continue
+            if best is not None and extra >= len(best.columns) - len(wanted):
+                continue
+            if wanted.issubset(candidate.columns) and candidate.is_full_rank():
+                best = candidate
+                if extra == 1:
+                    break
+        if best is None:
+            return None
+        factorization = best
+        for position in reversed(
+            [i for i, c in enumerate(best.columns) if c not in wanted]
+        ):
+            factorization = factorization.remove_column(position)
+        if not factorization.is_full_rank():
+            return None  # numerically degraded; fall back to a fresh QR
+        return factorization
+
+
+class ReductionCache:
+    """LRU memo of phase-2 column reductions for one routing matrix.
+
+    Keyed by (strategy, variance vector, cutoff): a rolling monitor — or
+    any consumer re-inferring against one variance estimate — re-reduces
+    only when the estimate or a reduction knob actually changes.  Shared
+    by :class:`InferenceEngine` and the delay layer
+    (:class:`repro.delay.inference.DelayInferenceAlgorithm`), which used
+    to reimplement the same memoized kept-column selection by hand.
+    """
+
+    def __init__(self, matrix, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._matrix = matrix
+        self.max_entries = max_entries
+        self._cache: "OrderedDict[Tuple[str, bytes, Optional[float]], ReductionResult]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def reduce(
+        self,
+        variances: np.ndarray,
+        strategy: str,
+        variance_cutoff: Optional[float] = None,
+    ) -> ReductionResult:
+        """The (memoized) reduction for one variance vector."""
+        variances = np.asarray(variances, dtype=np.float64)
+        key = (strategy, variances.tobytes(), variance_cutoff)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return cached
+        reduction = reduce_to_full_rank(
+            self._matrix,
+            variances,
+            strategy=strategy,
+            variance_cutoff=variance_cutoff,
+        )
+        self._cache[key] = reduction
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return reduction
 
 
 class InferenceEngine:
@@ -166,8 +275,8 @@ class InferenceEngine:
         self._factorizations = FactorizationCache(
             self._routing_sparse, max_entries=max_cached_factorizations
         )
-        self._reductions: "OrderedDict[Tuple[str, bytes, Optional[float]], ReductionResult]" = (
-            OrderedDict()
+        self._reductions = ReductionCache(
+            self._routing_sparse, max_entries=max_cached_factorizations
         )
 
     # -- cached structures ----------------------------------------------------
@@ -219,28 +328,17 @@ class InferenceEngine:
     ) -> ReductionResult:
         """Memoized phase-2 reduction for one variance estimate.
 
-        Keyed by (strategy, variance bytes, cutoff), so a rolling
+        Delegates to the shared :class:`ReductionCache`, so a rolling
         monitor re-reduces only when it re-learns variances (or the
         snapshot probe count or a reduction knob changes), not on every
         snapshot.
         """
         self._check_estimate(estimate)
-        cutoff = self.variance_cutoff(num_probes)
-        key = (self.reduction_strategy, estimate.variances.tobytes(), cutoff)
-        cached = self._reductions.get(key)
-        if cached is not None:
-            self._reductions.move_to_end(key)
-            return cached
-        reduction = reduce_to_full_rank(
-            self._routing_sparse,
+        return self._reductions.reduce(
             estimate.variances,
-            strategy=self.reduction_strategy,
-            variance_cutoff=cutoff,
+            self.reduction_strategy,
+            self.variance_cutoff(num_probes),
         )
-        self._reductions[key] = reduction
-        while len(self._reductions) > self._factorizations.max_entries:
-            self._reductions.popitem(last=False)
-        return reduction
 
     def _check_estimate(self, estimate: VarianceEstimate) -> None:
         if estimate.num_links != self.routing.num_links:

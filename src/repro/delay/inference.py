@@ -21,8 +21,7 @@ import numpy as np
 
 from repro.core.augmented import IntersectingPairs, intersecting_pairs
 from repro.core.covariance import sample_covariance_pairs
-from repro.core.engine import FactorizationCache
-from repro.core.linalg import greedy_independent_columns
+from repro.core.engine import FactorizationCache, ReductionCache
 from repro.delay.prober import DelayCampaign, DelaySnapshot
 from repro.topology.routing import RoutingMatrix
 from scipy import sparse
@@ -80,7 +79,7 @@ class DelayInferenceAlgorithm:
         self._pairs: Optional[IntersectingPairs] = None
         self._routing_sparse = routing.to_sparse()
         self._factorizations = FactorizationCache(self._routing_sparse)
-        self._kept_cache: "dict[tuple, np.ndarray]" = {}
+        self._reductions = ReductionCache(self._routing_sparse)
 
     @property
     def pairs(self) -> IntersectingPairs:
@@ -137,26 +136,16 @@ class DelayInferenceAlgorithm:
     def _kept_columns(self, estimate: DelayVarianceEstimate) -> np.ndarray:
         """Memoized phase-2 column selection for one variance estimate.
 
-        The kept set (and therefore the ``R*`` factorization the cache
-        hands back) is fixed per estimate, so repeated inference against
-        one training window — the monitoring pattern — reduces once and
-        factorizes once.
+        Delegates to the shared :class:`repro.core.engine.ReductionCache`
+        (the ``"threshold"`` strategy with the delay cutoff), the same
+        helper the loss engine memoizes through.  The kept set (and
+        therefore the ``R*`` factorization the cache hands back) is fixed
+        per estimate, so repeated inference against one training window —
+        the monitoring pattern — reduces once and factorizes once.
         """
-        v = estimate.variances
-        key = (v.tobytes(), self.variance_cutoff_ms2)
-        cached = self._kept_cache.get(key)
-        if cached is not None:
-            return cached
-        order = np.argsort(v)[::-1]
-        candidates = [int(c) for c in order if v[c] > self.variance_cutoff_ms2]
-        kept = np.asarray(
-            sorted(greedy_independent_columns(self._routing_sparse, candidates)),
-            dtype=np.int64,
-        )
-        if len(self._kept_cache) >= 8:
-            self._kept_cache.clear()
-        self._kept_cache[key] = kept
-        return kept
+        return self._reductions.reduce(
+            estimate.variances, "threshold", self.variance_cutoff_ms2
+        ).kept_columns
 
     def run(self, campaign: DelayCampaign) -> DelayInferenceResult:
         """Learn on all but the last snapshot; infer on the last."""

@@ -26,14 +26,12 @@ import numpy as np
 from repro.experiments.base import (
     ExperimentResult,
     execute_trials,
-    prepare_topology,
+    lia_scenario,
     repetition_seeds,
-    run_lia_trial,
     scale_params,
 )
 from repro.lossmodel import BernoulliProcess
 from repro.runner import ParallelRunner, TrialSpec
-from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 # The non-default alternatives of the canonical grids in repro.core
@@ -78,23 +76,22 @@ def _variant_params(label: str, params):
 
 
 def trial(spec: TrialSpec) -> dict:
-    """One (variant, repetition) trial on the fixed tree workload."""
+    """One (variant, repetition) scenario on the fixed tree workload."""
     label = spec.params["variant"]
     p = _variant_params(label, scale_params(spec.params["scale"]))
-    rep_seed = spec.seed
-    prepared = prepare_topology("tree", p, derive_seed(rep_seed, 0))
-    outcome = run_lia_trial(
-        prepared,
-        derive_seed(rep_seed, 1),
+    scenario = lia_scenario(
+        topology="tree",
+        params=p,
         snapshots=p.snapshots,
         probes=p.probes,
         **_variant_overrides(label),
     )
+    evaluation = scenario.run(seed=spec.seed).evaluations[0]
     return {
-        "dr": outcome.detection.detection_rate,
-        "fpr": outcome.detection.false_positive_rate,
-        "median_ae": outcome.accuracy.absolute_errors.median,
-        "max_ae": outcome.accuracy.absolute_errors.maximum,
+        "dr": evaluation.detection.detection_rate,
+        "fpr": evaluation.detection.false_positive_rate,
+        "median_ae": evaluation.accuracy.absolute_errors.median,
+        "max_ae": evaluation.accuracy.absolute_errors.maximum,
     }
 
 

@@ -6,6 +6,13 @@ ExperimentResult``.  ``scale="paper"`` uses the paper's parameters
 shrinks them so the whole suite regenerates in minutes on a laptop, and
 ``"tiny"`` is for CI/benchmark smoke runs.  Scaling down changes absolute
 numbers, never the qualitative shape the experiments check.
+
+Trial functions phrase their topology → probe → infer → score loop as
+:class:`repro.api.Scenario` runs; this module keeps only experiment
+*sizing* (the scale presets) plus rendering/aggregation helpers.  The
+topology front end (``make_topology``/``prepare_topology``/
+``PreparedTopology``) lives in :mod:`repro.topology.prepare` and is
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
@@ -15,36 +22,40 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.lia import LIAResult, LossInferenceAlgorithm
+from repro.api import EstimatorSpec, Scenario
+from repro.core.lia import LIAResult
 from repro.lossmodel import LLRD1, LossRateModel
 from repro.lossmodel.processes import LossProcess
-from repro.metrics import (
-    AccuracyReport,
-    DetectionOutcome,
-    evaluate_location,
-)
-from repro.probing import ProberConfig, ProbingSimulator
+from repro.metrics import AccuracyReport, DetectionOutcome
+from repro.probing import ProberConfig
 from repro.probing.snapshot import Snapshot
-from repro.topology import (
-    Path,
-    RoutingMatrix,
-    build_paths,
-    find_fluttering_pairs,
-    remove_fluttering_paths,
-)
-from repro.topology.generators import (
-    GeneratedTopology,
-    barabasi_albert,
-    dimes_like,
-    hierarchical_bottom_up,
-    hierarchical_top_down,
-    planetlab_like,
-    random_tree,
-    waxman,
+from repro.topology.prepare import (
+    MESH_TOPOLOGY_KINDS,
+    PreparedTopology,
+    make_topology,
+    prepare_topology,
 )
 from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
+
+__all__ = [
+    "MESH_TOPOLOGY_KINDS",
+    "SCALES",
+    "SCALE_PRESETS",
+    "ExperimentResult",
+    "PreparedTopology",
+    "ScaleParams",
+    "TrialOutcome",
+    "execute_trials",
+    "lia_scenario",
+    "make_topology",
+    "mean_and_ci",
+    "prepare_topology",
+    "repetition_seeds",
+    "run_lia_trial",
+    "scale_params",
+]
 
 SCALES = ("tiny", "small", "paper")
 
@@ -104,97 +115,6 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-# -- topology construction ------------------------------------------------------
-
-
-def make_topology(
-    kind: str, params: ScaleParams, seed: Optional[int]
-) -> GeneratedTopology:
-    """Build one of the paper's evaluation topologies at the given scale."""
-    if kind == "tree":
-        return random_tree(num_nodes=params.tree_nodes, seed=seed)
-    if kind == "waxman":
-        return waxman(
-            num_nodes=params.mesh_nodes,
-            num_end_hosts=params.num_end_hosts,
-            seed=seed,
-        )
-    if kind == "barabasi-albert":
-        return barabasi_albert(
-            num_nodes=params.mesh_nodes,
-            num_end_hosts=params.num_end_hosts,
-            seed=seed,
-        )
-    if kind == "hierarchical-td":
-        routers = max(2, params.mesh_nodes // 20)
-        return hierarchical_top_down(
-            num_ases=20,
-            routers_per_as=routers,
-            num_end_hosts=params.num_end_hosts,
-            seed=seed,
-        )
-    if kind == "hierarchical-bu":
-        return hierarchical_bottom_up(
-            num_nodes=params.mesh_nodes,
-            num_end_hosts=params.num_end_hosts,
-            seed=seed,
-        )
-    if kind == "planetlab":
-        return planetlab_like(
-            num_sites=max(4, params.num_end_hosts // 2),
-            hosts_per_site=2,
-            seed=seed,
-        )
-    if kind == "dimes":
-        return dimes_like(
-            num_ases=max(10, params.mesh_nodes // 12),
-            num_hosts=params.num_end_hosts,
-            seed=seed,
-        )
-    raise ValueError(f"unknown topology kind {kind!r}")
-
-
-MESH_TOPOLOGY_KINDS = (
-    "barabasi-albert",
-    "waxman",
-    "hierarchical-td",
-    "hierarchical-bu",
-    "planetlab",
-    "dimes",
-)
-
-
-@dataclass
-class PreparedTopology:
-    """A topology with fluttering-free paths and its routing matrix."""
-
-    topology: GeneratedTopology
-    paths: List[Path]
-    routing: RoutingMatrix
-    num_removed_fluttering: int
-
-
-def prepare_topology(
-    kind: str, params: ScaleParams, seed: Optional[int]
-) -> PreparedTopology:
-    """Generate, route, enforce T.2 and reduce — the full Section 3 front end."""
-    topology = make_topology(kind, params, seed)
-    paths = build_paths(
-        topology.network, topology.beacons, topology.destinations
-    )
-    removed = 0
-    if find_fluttering_pairs(paths):
-        paths, dropped = remove_fluttering_paths(paths)
-        removed = len(dropped)
-    routing = RoutingMatrix.from_paths(paths)
-    return PreparedTopology(
-        topology=topology,
-        paths=paths,
-        routing=routing,
-        num_removed_fluttering=removed,
-    )
-
-
 # -- campaign + evaluation -----------------------------------------------------
 
 
@@ -206,6 +126,50 @@ class TrialOutcome:
     accuracy: AccuracyReport
     result: LIAResult
     target: Snapshot
+
+
+def lia_scenario(
+    topology: str = "tree",
+    params: Optional[ScaleParams] = None,
+    congestion_probability: float = 0.10,
+    snapshots: int = 50,
+    probes: int = 1000,
+    model: LossRateModel = LLRD1,
+    process: Optional[LossProcess] = None,
+    truth_mode: str = "fixed",
+    variance_method: str = "wls",
+    reduction_strategy: str = "threshold",
+    fidelity: str = "packet",
+    **scenario_kwargs,
+) -> Scenario:
+    """The canonical single-LIA scenario most experiments sweep.
+
+    Extra keyword arguments pass through to :class:`repro.api.Scenario`
+    (``topology_salt``, ``training_grid``, ``num_targets``, …).
+    """
+    return Scenario(
+        topology=topology,
+        params=params,
+        prober=ProberConfig(
+            probes_per_snapshot=probes,
+            congestion_probability=congestion_probability,
+            truth_mode=truth_mode,
+            fidelity=fidelity,
+        ),
+        model=model,
+        process=process,
+        num_training=snapshots,
+        estimators=(
+            EstimatorSpec(
+                "lia",
+                {
+                    "variance_method": variance_method,
+                    "reduction_strategy": reduction_strategy,
+                },
+            ),
+        ),
+        **scenario_kwargs,
+    )
 
 
 def run_lia_trial(
@@ -223,42 +187,31 @@ def run_lia_trial(
 ) -> TrialOutcome:
     """One full LIA trial: simulate m+1 snapshots, learn, infer, score.
 
-    Accuracy is scored against the target snapshot's *realized* per-column
-    loss fractions (what LIA estimates); detection against the assigned
-    congestion marks, both per Section 6.
+    A thin compatibility shim over :class:`repro.api.Scenario` (the
+    topology is pre-built and *seed* feeds the campaign directly).
+    Accuracy is scored against the target snapshot's *realized*
+    per-column loss fractions (what LIA estimates); detection against
+    the assigned congestion marks, both per Section 6.
     """
-    config = ProberConfig(
-        probes_per_snapshot=probes,
+    scenario = lia_scenario(
+        params=None,
         congestion_probability=congestion_probability,
-        truth_mode=truth_mode,
-        fidelity=fidelity,
-    )
-    simulator = ProbingSimulator(
-        prepared.paths,
-        prepared.topology.network.num_links,
+        snapshots=snapshots,
+        probes=probes,
         model=model,
         process=process,
-        config=config,
-    )
-    campaign = simulator.run_campaign(snapshots + 1, prepared.routing, seed=seed)
-    lia = LossInferenceAlgorithm(
-        prepared.routing,
+        truth_mode=truth_mode,
         variance_method=variance_method,
         reduction_strategy=reduction_strategy,
+        fidelity=fidelity,
     )
-    result = lia.run(campaign)
-    target = campaign[-1]
-    detection = evaluate_location(
-        result.loss_rates,
-        target.virtual_congested(prepared.routing),
-        prepared.routing,
-        model.threshold,
-    )
-    accuracy = AccuracyReport.compare(
-        target.realized_virtual_loss_rates(prepared.routing), result.loss_rates
-    )
+    outcome = scenario.run(prepared=prepared, campaign_seed=seed)
+    evaluation = outcome.evaluations[0]
     return TrialOutcome(
-        detection=detection, accuracy=accuracy, result=result, target=target
+        detection=evaluation.detection,
+        accuracy=evaluation.accuracy,
+        result=evaluation.result.raw,
+        target=outcome.targets[-1],
     )
 
 

@@ -18,16 +18,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.lia import LossInferenceAlgorithm
-from repro.experiments.base import (
-    ExperimentResult,
-    prepare_topology,
-    scale_params,
-)
+from repro.api import EstimatorSpec, Scenario
+from repro.experiments.base import ExperimentResult, scale_params
 from repro.lossmodel import INTERNET
-from repro.probing import MeasurementCampaign, ProberConfig, ProbingSimulator
+from repro.probing import ProberConfig
 from repro.runner import ParallelRunner
-from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 THRESHOLD = 0.01
@@ -60,45 +55,32 @@ def run(
     params = scale_params(scale)
     num_consecutive = {"tiny": 10, "small": 30, "paper": 100}[scale]
 
-    prepared = prepare_topology("planetlab", params, derive_seed(seed, 0))
-    config = ProberConfig(
-        probes_per_snapshot=params.probes,
-        congestion_probability=0.08,
-        truth_mode="propensity",
-        propensity_range=(0.1, 0.5),
-    )
-    simulator = ProbingSimulator(
-        prepared.paths,
-        prepared.topology.network.num_links,
+    # One scenario with many target snapshots: variances are learned once
+    # from the leading window, and the engine solves all consecutive
+    # targets as one multi-RHS system against a single R* factorization.
+    scenario = Scenario(
+        topology="planetlab",
+        params=params,
+        prober=ProberConfig(
+            probes_per_snapshot=params.probes,
+            congestion_probability=0.08,
+            truth_mode="propensity",
+            propensity_range=(0.1, 0.5),
+        ),
         model=INTERNET,
-        config=config,
+        num_training=params.snapshots,
+        num_targets=num_consecutive,
+        estimators=(EstimatorSpec("lia"),),
     )
-    total = params.snapshots + num_consecutive
-    campaign = simulator.run_campaign(
-        total, prepared.routing, seed=derive_seed(seed, 1)
-    )
+    outcome = scenario.run(seed=seed)
+    routing = outcome.prepared.routing
 
-    training = MeasurementCampaign(
-        routing=prepared.routing,
-        snapshots=campaign.snapshots[: params.snapshots],
-    )
-    lia = LossInferenceAlgorithm(prepared.routing)
-    estimate = lia.learn_variances(training)
-
-    inferred = np.zeros(
-        (prepared.routing.num_links, num_consecutive), dtype=bool
-    )
+    inferred = np.zeros((routing.num_links, num_consecutive), dtype=bool)
     actual = np.zeros_like(inferred)
-    # All consecutive snapshots share one variance estimate (and probe
-    # count), so the engine solves them as one multi-RHS system against a
-    # single R* factorization.
-    consecutive = campaign.snapshots[
-        params.snapshots : params.snapshots + num_consecutive
-    ]
-    results = lia.infer_batch(consecutive, estimate)
-    for t, (snapshot, result) in enumerate(zip(consecutive, results)):
-        inferred[:, t] = result.loss_rates > THRESHOLD
-        actual[:, t] = snapshot.virtual_congested(prepared.routing)
+    results = outcome.evaluations[0].results
+    for t, (snapshot, result) in enumerate(zip(outcome.targets, results)):
+        inferred[:, t] = result.values > THRESHOLD
+        actual[:, t] = snapshot.virtual_congested(routing)
 
     lengths = run_lengths(inferred)
     actual_lengths = run_lengths(actual)

@@ -17,43 +17,44 @@ from typing import Optional
 import numpy as np
 from scipy import stats
 
+from repro.api import Scenario
 from repro.experiments.base import (
     ExperimentResult,
     execute_trials,
-    prepare_topology,
     scale_params,
 )
 from repro.lossmodel import INTERNET
-from repro.probing import ProberConfig, ProbingSimulator
+from repro.probing import ProberConfig
 from repro.runner import ParallelRunner, TrialSpec
-from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 NUM_BINS = 8
 
 
 def trial(spec: TrialSpec) -> dict:
-    """The (single) measurement campaign: per-path loss means/variances."""
+    """The (single) measurement campaign: per-path loss means/variances.
+
+    A measurement-only study: only the scenario's topology and probing
+    stages run (no estimators), with an explicit campaign length.
+    """
     params = scale_params(spec.params["scale"])
     num_samples = spec.params["num_samples"]
-    seed = spec.seed
 
-    prepared = prepare_topology("planetlab", params, derive_seed(seed, 1))
-    config = ProberConfig(
-        probes_per_snapshot=params.probes,
-        congestion_probability=0.08,
-        truth_mode="propensity",
-        propensity_range=(0.1, 0.7),
-    )
-    simulator = ProbingSimulator(
-        prepared.paths,
-        prepared.topology.network.num_links,
+    scenario = Scenario(
+        topology="planetlab",
+        params=params,
+        prober=ProberConfig(
+            probes_per_snapshot=params.probes,
+            congestion_probability=0.08,
+            truth_mode="propensity",
+            propensity_range=(0.1, 0.7),
+        ),
         model=INTERNET,
-        config=config,
+        topology_salt=1,
+        campaign_salt=2,
     )
-    campaign = simulator.run_campaign(
-        num_samples, prepared.routing, seed=derive_seed(seed, 2)
-    )
+    prepared = scenario.prepare(spec.seed)
+    campaign = scenario.simulate(prepared, spec.seed, length=num_samples)
 
     loss = np.vstack([s.path_loss_rates() for s in campaign.snapshots])
     return {

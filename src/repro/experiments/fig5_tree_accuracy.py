@@ -19,20 +19,16 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.lia import LossInferenceAlgorithm
+from repro.api import EstimatorSpec, Scenario
 from repro.experiments.base import (
     ExperimentResult,
     execute_trials,
-    prepare_topology,
     repetition_seeds,
     scale_params,
 )
-from repro.inference import scfs_localize
 from repro.lossmodel import LLRD1
-from repro.metrics import detection_outcome, evaluate_location
-from repro.probing import ProberConfig, ProbingSimulator
+from repro.probing import ProberConfig
 from repro.runner import ParallelRunner, TrialSpec
-from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 SNAPSHOT_GRID = {
@@ -43,56 +39,43 @@ SNAPSHOT_GRID = {
 
 
 def trial(spec: TrialSpec) -> dict:
-    """One repetition: a full campaign scored at every m plus SCFS."""
+    """One repetition: a full campaign scored at every m plus SCFS.
+
+    One declarative scenario: LIA is refitted on every suffix window of
+    the m-grid (one engine, so the intersecting-pairs structure is built
+    once and R* factorizations are shared across grid points); SCFS
+    never uses history, so it is scored once on the target snapshot.
+    """
     params = scale_params(spec.params["scale"])
     grid = tuple(spec.params["grid"])
-    max_m = max(grid)
-    rep_seed = spec.seed
 
-    prepared = prepare_topology("tree", params, derive_seed(rep_seed, 0))
-    config = ProberConfig(
-        probes_per_snapshot=params.probes, congestion_probability=0.10
-    )
-    simulator = ProbingSimulator(
-        prepared.paths,
-        prepared.topology.network.num_links,
+    scenario = Scenario(
+        topology="tree",
+        params=params,
+        prober=ProberConfig(
+            probes_per_snapshot=params.probes, congestion_probability=0.10
+        ),
         model=LLRD1,
-        config=config,
+        training_grid=grid,
+        estimators=(
+            EstimatorSpec("lia"),
+            EstimatorSpec("scfs", {"link_threshold": LLRD1.threshold}),
+        ),
     )
-    campaign = simulator.run_campaign(
-        max_m + 1, prepared.routing, seed=derive_seed(rep_seed, 1)
-    )
-    target = campaign[-1]
-    truth = target.virtual_congested(prepared.routing)
+    outcome = scenario.run(seed=spec.seed)
 
     lia_dr: Dict[str, float] = {}
     lia_fpr: Dict[str, float] = {}
-    # One LIA across the m-grid: the engine builds the intersecting-pairs
-    # structure once and reuses R* factorizations across grid points that
-    # reduce to the same kept-column set.
-    lia = LossInferenceAlgorithm(prepared.routing)
     for m in grid:
-        training = campaign.snapshots[max_m - m : max_m]
-        sub = type(campaign)(routing=campaign.routing, snapshots=list(training))
-        estimate = lia.learn_variances(sub)
-        result = lia.infer(target, estimate)
-        outcome = evaluate_location(
-            result.loss_rates, truth, prepared.routing, LLRD1.threshold
-        )
-        lia_dr[str(m)] = outcome.detection_rate
-        lia_fpr[str(m)] = outcome.false_positive_rate
-
-    localized = scfs_localize(
-        target, prepared.paths, prepared.routing, LLRD1.threshold
-    )
-    outcome = detection_outcome(
-        localized.as_mask(prepared.routing.num_links), truth
-    )
+        detection = outcome.evaluation("lia", m).detection
+        lia_dr[str(m)] = detection.detection_rate
+        lia_fpr[str(m)] = detection.false_positive_rate
+    scfs = outcome.evaluation("scfs").detection
     return {
         "lia_dr": lia_dr,
         "lia_fpr": lia_fpr,
-        "scfs_dr": outcome.detection_rate,
-        "scfs_fpr": outcome.false_positive_rate,
+        "scfs_dr": scfs.detection_rate,
+        "scfs_fpr": scfs.false_positive_rate,
     }
 
 

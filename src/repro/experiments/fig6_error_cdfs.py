@@ -21,14 +21,12 @@ import numpy as np
 from repro.experiments.base import (
     ExperimentResult,
     execute_trials,
-    prepare_topology,
+    lia_scenario,
     repetition_seeds,
-    run_lia_trial,
     scale_params,
 )
 from repro.metrics import EmpiricalCDF, absolute_error, error_factor
 from repro.runner import ParallelRunner, TrialSpec
-from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 ABS_POINTS = (0.0005, 0.001, 0.0015, 0.002, 0.0025, 0.005, 0.01)
@@ -38,18 +36,20 @@ FACTOR_POINTS = (1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.5)
 def trial(spec: TrialSpec) -> dict:
     """One repetition: per-link absolute errors and error factors."""
     params = scale_params(spec.params["scale"])
-    rep_seed = spec.seed
-    prepared = prepare_topology("tree", params, derive_seed(rep_seed, 0))
-    outcome = run_lia_trial(
-        prepared,
-        derive_seed(rep_seed, 1),
+    scenario = lia_scenario(
+        topology="tree",
+        params=params,
         snapshots=params.snapshots,
         probes=params.probes,
     )
-    realized = outcome.target.realized_virtual_loss_rates(prepared.routing)
+    outcome = scenario.run(seed=spec.seed)
+    realized = outcome.targets[-1].realized_virtual_loss_rates(
+        outcome.prepared.routing
+    )
+    loss_rates = outcome.evaluations[0].result.values
     return {
-        "abs_errors": absolute_error(realized, outcome.result.loss_rates).tolist(),
-        "factors": error_factor(realized, outcome.result.loss_rates).tolist(),
+        "abs_errors": absolute_error(realized, loss_rates).tolist(),
+        "factors": error_factor(realized, loss_rates).tolist(),
     }
 
 

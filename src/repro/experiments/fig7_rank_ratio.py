@@ -22,13 +22,11 @@ from repro.experiments.base import (
     MESH_TOPOLOGY_KINDS,
     ExperimentResult,
     execute_trials,
-    prepare_topology,
+    lia_scenario,
     repetition_seeds,
-    run_lia_trial,
     scale_params,
 )
 from repro.runner import ParallelRunner, TrialSpec
-from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 
@@ -36,24 +34,20 @@ def trial(spec: TrialSpec) -> dict:
     """One (topology kind, repetition): reduction bookkeeping counts."""
     params = scale_params(spec.params["scale"])
     kind = spec.params["kind"]
-    rep_seed = spec.seed
-    prepared = prepare_topology(
-        kind, params, derive_seed(rep_seed, zlib.crc32(kind.encode()))
-    )
-    outcome = run_lia_trial(
-        prepared,
-        derive_seed(rep_seed, 1),
+    scenario = lia_scenario(
+        topology=kind,
+        params=params,
         snapshots=params.snapshots,
         probes=params.probes,
+        topology_salt=zlib.crc32(kind.encode()),
     )
-    truth = outcome.target.virtual_congested(prepared.routing)
-    kept = outcome.result.reduction.kept_columns
+    outcome = scenario.run(seed=spec.seed)
+    truth = outcome.targets[-1].virtual_congested(outcome.prepared.routing)
+    reduction = outcome.evaluations[0].result.raw.reduction
     return {
         "num_congested": int(truth.sum()),
-        "num_kept": len(kept),
-        "removed_congested": int(
-            truth[outcome.result.reduction.removed_columns].sum()
-        ),
+        "num_kept": len(reduction.kept_columns),
+        "removed_congested": int(truth[reduction.removed_columns].sum()),
     }
 
 

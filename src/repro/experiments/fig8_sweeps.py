@@ -23,9 +23,8 @@ import numpy as np
 from repro.experiments.base import (
     ExperimentResult,
     execute_trials,
-    prepare_topology,
+    lia_scenario,
     repetition_seeds,
-    run_lia_trial,
     scale_params,
 )
 from repro.runner import ParallelRunner, TrialSpec
@@ -45,21 +44,20 @@ S_GRID = {
 
 
 def trial(spec: TrialSpec) -> dict:
-    """One (panel, grid value, repetition) sensitivity trial."""
+    """One (panel, grid value, repetition) sensitivity scenario."""
     params = scale_params(spec.params["scale"])
     variable = spec.params["variable"]
     value = spec.params["value"]
-    rep_seed = spec.seed
-    prepared = prepare_topology("planetlab", params, derive_seed(rep_seed, 0))
     kwargs = dict(snapshots=params.snapshots, probes=params.probes)
     if variable == "p":
         kwargs["congestion_probability"] = value
     else:
         kwargs["probes"] = value
-    outcome = run_lia_trial(prepared, derive_seed(rep_seed, 1), **kwargs)
+    scenario = lia_scenario(topology="planetlab", params=params, **kwargs)
+    detection = scenario.run(seed=spec.seed).evaluations[0].detection
     return {
-        "dr": outcome.detection.detection_rate,
-        "fpr": outcome.detection.false_positive_rate,
+        "dr": detection.detection_rate,
+        "fpr": detection.false_positive_rate,
     }
 
 

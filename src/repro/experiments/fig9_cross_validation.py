@@ -20,11 +20,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.lia import LossInferenceAlgorithm
+from repro.api import Scenario, get
 from repro.experiments.base import (
     ExperimentResult,
     execute_trials,
-    prepare_topology,
     repetition_seeds,
     scale_params,
 )
@@ -34,7 +33,6 @@ from repro.netsim import measure_topology
 from repro.probing import (
     MeasurementCampaign,
     ProberConfig,
-    ProbingSimulator,
     restrict_campaign,
     split_paths,
 )
@@ -51,13 +49,34 @@ M_GRID = {
 
 
 def trial(spec: TrialSpec) -> dict:
-    """One repetition: measure, probe, split, validate at every m."""
+    """One repetition: measure, probe, split, validate at every m.
+
+    The scenario runs the common stages (topology generation, probing
+    campaign over the *true* network); the Section 7.1 measurement chain
+    — simulated traceroute, path split, consistency metric — is spliced
+    between them, and the m-grid sweep runs through the ``lia``
+    estimator adapter (one engine: pairs built once, kept-column
+    factorizations shared across grid points).
+    """
     params = scale_params(spec.params["scale"])
     grid = tuple(spec.params["grid"])
     max_m = max(grid)
     rep_seed = spec.seed
 
-    prepared = prepare_topology("planetlab", params, derive_seed(rep_seed, 0))
+    scenario = Scenario(
+        topology="planetlab",
+        params=params,
+        prober=ProberConfig(
+            probes_per_snapshot=params.probes,
+            congestion_probability=0.08,
+            truth_mode="propensity",
+            propensity_range=(0.1, 0.7),
+        ),
+        model=INTERNET,
+        training_grid=grid,
+        campaign_salt=2,
+    )
+    prepared = scenario.prepare(rep_seed)
     measured = measure_topology(
         prepared.topology.network,
         prepared.paths,
@@ -65,21 +84,7 @@ def trial(spec: TrialSpec) -> dict:
         seed=derive_seed(rep_seed, 1),
     )
     measured_routing = RoutingMatrix.from_paths(measured.paths)
-    config = ProberConfig(
-        probes_per_snapshot=params.probes,
-        congestion_probability=0.08,
-        truth_mode="propensity",
-        propensity_range=(0.1, 0.7),
-    )
-    simulator = ProbingSimulator(
-        prepared.paths,
-        prepared.topology.network.num_links,
-        model=INTERNET,
-        config=config,
-    )
-    true_campaign = simulator.run_campaign(
-        max_m + 1, prepared.routing, seed=derive_seed(rep_seed, 2)
-    )
+    true_campaign = scenario.simulate(prepared, rep_seed)
     # Same measurements, interpreted over the measured topology.
     campaign = MeasurementCampaign(
         routing=measured_routing, snapshots=true_campaign.snapshots
@@ -94,19 +99,18 @@ def trial(spec: TrialSpec) -> dict:
     validation_rates = target.path_transmission[list(split.validation_rows)]
 
     rates: Dict[str, float] = {}
-    # One LIA across the m-grid: pairs are built once, and kept-column
-    # sets repeated across grid points reuse the cached factorization.
-    lia = LossInferenceAlgorithm(inference_routing)
+    estimator = get("lia")
     target_inference = inference_campaign.snapshots[max_m]
     for m in grid:
-        sub = MeasurementCampaign(
-            routing=inference_routing,
-            snapshots=inference_campaign.snapshots[max_m - m : max_m],
+        estimator.fit(
+            MeasurementCampaign(
+                routing=inference_routing,
+                snapshots=inference_campaign.snapshots[max_m - m : max_m],
+            )
         )
-        estimate = lia.learn_variances(sub)
-        result = lia.infer(target_inference, estimate)
+        result = estimator.predict(target_inference)
         consistency = validate_against_paths(
-            result, inference_routing, validation_paths, validation_rates
+            result.raw, inference_routing, validation_paths, validation_rates
         )
         rates[str(m)] = consistency.consistency_rate
     return {"rates": rates}

@@ -25,41 +25,38 @@ from repro.experiments.base import (
     MESH_TOPOLOGY_KINDS,
     ExperimentResult,
     execute_trials,
-    prepare_topology,
+    lia_scenario,
     repetition_seeds,
-    run_lia_trial,
     scale_params,
 )
 from repro.metrics import absolute_error, error_factor
 from repro.runner import ParallelRunner, TrialSpec
-from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 
 def trial(spec: TrialSpec) -> dict:
-    """One (topology kind, repetition) LIA trial."""
+    """One (topology kind, repetition) LIA scenario run."""
     params = scale_params(spec.params["scale"])
     kind = spec.params["kind"]
-    rep_seed = spec.seed
-    prepared = prepare_topology(
-        kind, params, derive_seed(rep_seed, zlib.crc32(kind.encode()))
-    )
-    outcome = run_lia_trial(
-        prepared,
-        derive_seed(rep_seed, 1),
+    scenario = lia_scenario(
+        topology=kind,
+        params=params,
         snapshots=params.snapshots,
         probes=params.probes,
+        topology_salt=zlib.crc32(kind.encode()),
     )
-    realized = outcome.target.realized_virtual_loss_rates(prepared.routing)
+    outcome = scenario.run(seed=spec.seed)
+    evaluation = outcome.evaluations[0]
+    detection = evaluation.detection
+    realized = outcome.targets[-1].realized_virtual_loss_rates(
+        outcome.prepared.routing
+    )
+    loss_rates = evaluation.result.values
     return {
-        "dr": outcome.detection.detection_rate,
-        "fpr": outcome.detection.false_positive_rate,
-        "error_factors": error_factor(
-            realized, outcome.result.loss_rates
-        ).tolist(),
-        "absolute_errors": absolute_error(
-            realized, outcome.result.loss_rates
-        ).tolist(),
+        "dr": detection.detection_rate,
+        "fpr": detection.false_positive_rate,
+        "error_factors": error_factor(realized, loss_rates).tolist(),
+        "absolute_errors": absolute_error(realized, loss_rates).tolist(),
     }
 
 

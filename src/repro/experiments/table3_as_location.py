@@ -19,19 +19,18 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.lia import LossInferenceAlgorithm
+from repro.api import EstimatorSpec, Scenario
 from repro.experiments.base import (
     ExperimentResult,
     execute_trials,
-    prepare_topology,
     repetition_seeds,
     scale_params,
 )
 from repro.lossmodel import INTERNET
 from repro.netsim import AsMapper, classify_congested_columns
-from repro.probing import ProberConfig, ProbingSimulator
+from repro.probing import ProberConfig
 from repro.runner import ParallelRunner, TrialSpec
-from repro.utils.rng import SeedLike, as_rng, derive_seed
+from repro.utils.rng import SeedLike, as_rng
 from repro.utils.tables import TextTable
 
 THRESHOLDS = (0.04, 0.02, 0.01)
@@ -67,38 +66,34 @@ def _propensities_with_inter_as_boost(
 def trial(spec: TrialSpec) -> dict:
     """One repetition: inferred congested links classified by AS boundary."""
     params = scale_params(spec.params["scale"])
-    rep_seed = spec.seed
-    prepared = prepare_topology("planetlab", params, derive_seed(rep_seed, 0))
-    mapper, plan = AsMapper.from_topology(prepared.topology)
-    propensities = _propensities_with_inter_as_boost(
-        prepared, base_fraction=0.06, seed=derive_seed(rep_seed, 1)
-    )
-    config = ProberConfig(
-        probes_per_snapshot=params.probes,
-        truth_mode="propensity",
-    )
-    simulator = ProbingSimulator(
-        prepared.paths,
-        prepared.topology.network.num_links,
+    scenario = Scenario(
+        topology="planetlab",
+        params=params,
+        prober=ProberConfig(
+            probes_per_snapshot=params.probes,
+            truth_mode="propensity",
+        ),
         model=INTERNET,
-        config=config,
+        num_training=params.snapshots,
+        estimators=(EstimatorSpec("lia"),),
+        propensities=lambda prepared, seed: _propensities_with_inter_as_boost(
+            prepared, base_fraction=0.06, seed=seed
+        ),
+        propensity_salt=1,
+        campaign_salt=2,
     )
-    campaign = simulator.run_campaign(
-        params.snapshots + 1,
-        prepared.routing,
-        seed=derive_seed(rep_seed, 2),
-        propensities=propensities,
-    )
-    result = LossInferenceAlgorithm(prepared.routing).run(campaign)
+    outcome = scenario.run(seed=spec.seed)
+    mapper, plan = AsMapper.from_topology(outcome.prepared.topology)
+    loss_rates = outcome.evaluations[0].result.values
 
     fractions: Dict[str, Optional[float]] = {}
     for threshold in THRESHOLDS:
-        columns = np.flatnonzero(result.loss_rates > threshold)
+        columns = np.flatnonzero(loss_rates > threshold)
         if len(columns) == 0:
             fractions[str(threshold)] = None
             continue
         breakdown = classify_congested_columns(
-            [int(c) for c in columns], prepared.routing, mapper, plan
+            [int(c) for c in columns], outcome.prepared.routing, mapper, plan
         )
         fractions[str(threshold)] = breakdown.inter_fraction
     return {"inter_fractions": fractions}

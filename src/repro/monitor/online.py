@@ -11,7 +11,11 @@ running service that sentence implies:
   :class:`~repro.core.engine.InferenceEngine` underneath memoizes the
   phase-2 reduction per estimate and the ``R*`` factorization per
   kept-column set, so between refreshes each localisation is a pair of
-  triangular solves);
+  triangular solves; when a refresh *shrinks* the kept set by one or two
+  columns — a watched link clearing — the cached factorization is
+  Givens-downdated via
+  :meth:`~repro.core.linalg.QRFactorization.remove_column` instead of
+  refactorized, see :attr:`OnlineLossMonitor.factorization_downdates`);
 * every arriving snapshot is screened by a cheap **path-level z-score**
   against the window's running statistics; snapshots with anomalous
   paths trigger full LIA localisation;
@@ -114,6 +118,11 @@ class OnlineLossMonitor:
         self._lia = LossInferenceAlgorithm(
             routing, congestion_threshold=congestion_threshold
         )
+        # Long-lived monitors opt into QR downdating: a refresh that
+        # exonerates a link or two reuses the cached R* factorization
+        # via Givens column removals instead of refactorizing.  (Off by
+        # default in the engine so batch pipelines stay bit-identical.)
+        self._lia.engine.factorization_cache.downdate_limit = 2
         self._history: Deque[Snapshot] = deque(maxlen=window)
         self._log_history: Deque[np.ndarray] = deque(maxlen=window)
         self._estimate: Optional[VarianceEstimate] = None
@@ -133,6 +142,16 @@ class OnlineLossMonitor:
     def is_warm(self) -> bool:
         """True once the training window is full."""
         return len(self._history) >= self.window
+
+    @property
+    def factorization_downdates(self) -> int:
+        """Refreshes absorbed by a Givens downdate instead of a fresh QR.
+
+        Incremented when a variance refresh shrank the kept-column set by
+        at most two columns and the engine reused the previous ``R*``
+        factorization via column-removal downdates.
+        """
+        return self.engine.factorization_cache.downdates
 
     def currently_congested(self) -> List[int]:
         return sorted(self._congested_since)

@@ -18,17 +18,27 @@ from repro.topology.fluttering import (
     remove_fluttering_paths,
 )
 from repro.topology.graph import Link, Network, Path, build_paths
+from repro.topology.prepare import (
+    MESH_TOPOLOGY_KINDS,
+    PreparedTopology,
+    make_topology,
+    prepare_topology,
+)
 from repro.topology.routing import RoutingMatrix, VirtualLink
 
 __all__ = [
     "Link",
+    "MESH_TOPOLOGY_KINDS",
     "Network",
     "Path",
+    "PreparedTopology",
     "RoutingMatrix",
     "VirtualLink",
     "assert_no_fluttering",
     "build_paths",
     "find_fluttering_pairs",
+    "make_topology",
     "paths_flutter",
+    "prepare_topology",
     "remove_fluttering_paths",
 ]

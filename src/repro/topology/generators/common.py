@@ -18,7 +18,6 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.topology.graph import Network, NodeId
-from repro.utils.rng import SeedLike, as_rng
 
 
 @dataclass

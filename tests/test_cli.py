@@ -72,13 +72,83 @@ class TestSimulateInfer:
         assert main(["infer", str(doc)]) == 0
 
 
+class TestMethodDispatch:
+    @pytest.fixture(scope="class")
+    def document(self, tmp_path_factory):
+        doc = tmp_path_factory.mktemp("cli") / "campaign.json"
+        assert (
+            main(
+                [
+                    "simulate", "--topology", "tree", "--size", "90",
+                    "--snapshots", "10", "--probes", "300",
+                    "--congestion", "0.15", "--seed", "6", "--out", str(doc),
+                ]
+            )
+            == 0
+        )
+        return str(doc)
+
+    @pytest.mark.parametrize("method", ["lia", "scfs", "clink", "tomo"])
+    def test_infer_dispatches_through_registry(self, method, document, capsys):
+        assert main(["infer", document, "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert "trained on 9 snapshots" in out
+        if method == "lia":
+            assert "links above t_l" in out
+        else:
+            assert f"flagged congested by {method}" in out
+
+    def test_infer_rejects_delay_on_loss_document(self, document, capsys):
+        assert main(["infer", document, "--method", "delay"]) == 2
+        assert "does not consume loss campaign" in capsys.readouterr().err
+
+    def test_compare_side_by_side(self, document, capsys):
+        assert main(["compare", document]) == 0
+        out = capsys.readouterr().out
+        for method in ("lia", "scfs", "clink", "tomo"):
+            assert f"{method}:" in out and "links flagged" in out
+        # side-by-side table: one column per method
+        header = [
+            line for line in out.splitlines() if line.startswith("link column")
+        ]
+        assert header and all(
+            m in header[0] for m in ("lia", "scfs", "clink", "tomo")
+        )
+
+    def test_compare_subset_of_methods(self, document, capsys):
+        assert main(["compare", document, "--methods", "lia,tomo"]) == 0
+        out = capsys.readouterr().out
+        assert "scfs" not in out
+
+    def test_compare_rejects_unknown_method(self, document, capsys):
+        assert main(["compare", document, "--methods", "lia,bogus"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_compare_agrees_with_infer(self, document, capsys):
+        """The comparison table reuses the exact single-method pipelines."""
+        main(["infer", document, "--method", "lia"])
+        single = capsys.readouterr().out
+        count = int(single.split(" links above")[0].rsplit(" ", 1)[-1])
+        main(["compare", document, "--methods", "lia"])
+        compared = capsys.readouterr().out
+        assert f"lia: {count} links flagged" in compared
+
+
 class TestExperimentsVerb:
     def test_static_choices_match_registry(self):
-        from repro.cli import EXPERIMENT_CHOICES, SCALE_CHOICES
+        from repro.api import registry
+        from repro.cli import (
+            EXPERIMENT_CHOICES,
+            LOSS_METHOD_CHOICES,
+            METHOD_CHOICES,
+            SCALE_CHOICES,
+        )
         from repro.experiments import EXPERIMENTS, SCALES
 
         assert sorted(EXPERIMENT_CHOICES) == sorted(EXPERIMENTS)
         assert SCALE_CHOICES == SCALES
+        assert METHOD_CHOICES == registry.available()
+        assert set(LOSS_METHOD_CHOICES) == set(METHOD_CHOICES) - {"delay"}
 
     def test_non_runner_experiment_omits_stats(self, capsys):
         # timing/duration never call the runner; no bogus stats line

@@ -52,6 +52,103 @@ class TestFactorizationCache:
             FactorizationCache(np.eye(2), max_entries=0)
 
 
+class TestFactorizationDowndate:
+    """Shrinking kept sets reuse the cached QR via Givens downdates."""
+
+    @pytest.fixture()
+    def matrix(self):
+        rng = np.random.default_rng(3)
+        return rng.random(size=(24, 12)) + np.vstack(
+            [np.eye(12), np.zeros((12, 12))]
+        )
+
+    def test_subset_request_downdates(self, matrix):
+        cache = FactorizationCache(matrix, downdate_limit=2)
+        full = np.arange(8)
+        cache.factorization(full)
+        shrunk = np.array([0, 1, 2, 4, 5, 7])  # drops columns 3 and 6
+        downdated = cache.factorization(shrunk)
+        assert cache.downdates == 1
+        assert cache.misses == 1  # only the initial full factorization
+        assert downdated.columns == tuple(int(c) for c in shrunk)
+
+        fresh = FactorizationCache(matrix).factorization(shrunk)
+        rhs = np.linspace(-1.0, 1.0, matrix.shape[0])
+        assert np.allclose(downdated.solve(rhs), fresh.solve(rhs), atol=1e-10)
+        assert np.allclose(
+            downdated.q @ downdated.r, matrix[:, shrunk], atol=1e-10
+        )
+
+    def test_shrink_beyond_limit_refactorizes(self, matrix):
+        cache = FactorizationCache(matrix, downdate_limit=2)
+        cache.factorization(np.arange(8))
+        cache.factorization(np.array([0, 2, 4, 6, 7]))  # 3 columns removed
+        assert cache.downdates == 0
+        assert cache.misses == 2
+
+    def test_growing_set_refactorizes(self, matrix):
+        cache = FactorizationCache(matrix, downdate_limit=2)
+        cache.factorization(np.array([0, 1, 2]))
+        cache.factorization(np.array([0, 1, 2, 3]))
+        assert cache.downdates == 0
+        assert cache.misses == 2
+
+    def test_downdate_is_off_by_default(self, matrix):
+        """Batch pipelines stay bit-identical: only opted-in consumers
+        (the monitor) downdate."""
+        cache = FactorizationCache(matrix)
+        cache.factorization(np.arange(8))
+        cache.factorization(np.arange(7))
+        assert cache.downdates == 0
+        assert cache.misses == 2
+
+    def test_downdated_entry_is_cached(self, matrix):
+        cache = FactorizationCache(matrix, downdate_limit=2)
+        cache.factorization(np.arange(6))
+        shrunk = np.arange(5)
+        first = cache.factorization(shrunk)
+        second = cache.factorization(shrunk)
+        assert first is second
+        assert cache.downdates == 1 and cache.hits == 1
+
+    def test_engine_downdates_on_shrinking_kept_set(self, small_tree):
+        """A refresh that exonerates ≤2 columns rides the downdate path."""
+        from repro.core.covariance import CovarianceSummary
+        from repro.core.variance import VarianceEstimate
+        from repro.probing.snapshot import Snapshot
+
+        _, _, routing = small_tree
+        engine = InferenceEngine(routing)
+        # Opt in the way OnlineLossMonitor does.
+        engine.factorization_cache.downdate_limit = 2
+
+        def estimate_with(columns):
+            variances = np.zeros(routing.num_links)
+            variances[list(columns)] = 1e-2
+            return VarianceEstimate(
+                variances=variances,
+                method="wls",
+                covariance_summary=CovarianceSummary(2, 1, 0),
+                residual_norm=0.0,
+            )
+
+        snapshot = Snapshot(
+            path_transmission=np.full(routing.num_paths, 0.98),
+            num_probes=1000,
+        )
+        wide = engine.infer(snapshot, estimate_with([1, 3, 5, 7]))
+        assert len(wide.reduction.kept_columns) == 4
+        narrow = engine.infer(snapshot, estimate_with([1, 5, 7]))
+        assert engine.factorization_cache.downdates == 1
+        assert engine.factorization_cache.misses == 1
+
+        # The downdated solve equals a cold engine's exact factorization.
+        cold = InferenceEngine(routing).infer(snapshot, estimate_with([1, 5, 7]))
+        assert np.allclose(
+            narrow.transmission_rates, cold.transmission_rates, atol=1e-10
+        )
+
+
 class TestEngineInference:
     def test_matches_seed_pipeline(self, trained):
         """Engine inference == seed reduce + lstsq solve, to tight tolerance."""

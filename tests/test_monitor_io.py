@@ -98,6 +98,54 @@ class TestMonitor:
             OnlineLossMonitor(routing, z_threshold=0)
 
 
+class TestRefreshDowndate:
+    """A refresh that clears a link downdates R* instead of refactorizing."""
+
+    def test_shrinking_kept_set_downdates(self, small_tree):
+        from repro.probing.snapshot import Snapshot
+
+        _, _, routing = small_tree
+        R = routing.matrix.astype(np.float64)
+        varying = [2, 10, 20]
+        clearing = 20
+
+        def snapshot_at(t):
+            # Noise-free log link rates: the varying columns alternate
+            # between two congestion levels (across-window variance
+            # ~2e-4, far above the 16 * t_l / S = 3.2e-5 cutoff); the
+            # clearing column goes exactly quiet from t = 14 on, so a
+            # later refresh drops exactly one kept column.
+            x = np.zeros(routing.num_links)
+            level = -0.02 if t % 2 == 0 else -0.05
+            for column in varying:
+                if column == clearing and t >= 14:
+                    continue
+                x[column] = level
+            return Snapshot(
+                path_transmission=np.exp(R @ x), num_probes=1000
+            )
+
+        monitor = OnlineLossMonitor(
+            routing,
+            window=6,
+            refresh_interval=2,
+            localize_always=True,
+        )
+        saw_all_varying = False
+        for t in range(28):
+            report = monitor.observe(snapshot_at(t))
+            if report.loss_rates is not None and t < 14:
+                flagged = set(
+                    int(c)
+                    for c in np.flatnonzero(report.loss_rates > 0.002)
+                )
+                saw_all_varying |= flagged == set(varying)
+
+        assert saw_all_varying  # all three links localized while varying
+        assert monitor.factorization_downdates >= 1
+        assert clearing not in monitor.currently_congested()
+
+
 class TestSerialization:
     def test_round_trip(self, small_tree, tree_campaign, tmp_path):
         topo, paths, routing = small_tree

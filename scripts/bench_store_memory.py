@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Peak-RSS benchmark: merged (in-RAM) versus streamed (JSONL) results.
+
+Runs the same synthetic large-grid campaign twice, each in a fresh
+subprocess so ``ru_maxrss`` is an honest high-water mark:
+
+* **merged** — the historical behaviour: every payload accumulates in
+  one RAM list and the aggregator folds the materialized list;
+* **streamed** — ``ParallelRunner(store_dir=...)``: payloads spill to a
+  JSONL file as shards finish and the aggregator folds the lazy
+  ``ResultView`` one payload at a time.
+
+Both modes fold the payloads to the same checksum (so the streamed run
+cannot cheat by never reading results back).  The report prints peak
+RSS and wall-clock per mode; under GitHub Actions it also appends a
+markdown table to ``$GITHUB_STEP_SUMMARY``.  The streamed mode's peak
+RSS should stay near-flat as ``--trials`` grows while the merged mode
+grows linearly — the acceptance demonstration for the streaming store.
+
+Usage::
+
+    python scripts/bench_store_memory.py [--trials 1500] [--floats 512]
+    python scripts/bench_store_memory.py --mode merged   # child entry
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def payload_trial(spec) -> dict:
+    """A synthetic trial with a deliberately bulky payload."""
+    floats = spec.params["floats"]
+    base = float(spec.seed)
+    return {
+        "series": [base + i * 1e-6 for i in range(floats)],
+        "seed": spec.seed,
+    }
+
+
+def run_child(mode: str, trials: int, floats: int) -> int:
+    from repro.runner import ParallelRunner, TrialSpec
+
+    specs = [
+        TrialSpec(
+            "rss-bench", i, seed=i + 1, params={"floats": floats},
+            cacheable=False,
+        )
+        for i in range(trials)
+    ]
+    if mode == "merged":
+        runner = ParallelRunner(n_jobs=1)
+    else:
+        store_dir = tempfile.mkdtemp(prefix="repro-rss-")
+        runner = ParallelRunner(n_jobs=1, store_dir=store_dir)
+
+    start = time.perf_counter()
+    view = runner.run("rss-bench", payload_trial, specs)
+    payloads = view.materialize() if mode == "merged" else view
+    checksum = 0.0
+    count = 0
+    for payload in payloads:  # identical single-pass fold in both modes
+        checksum += payload["series"][-1]
+        count += 1
+    elapsed = time.perf_counter() - start
+
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_mib = peak / (1024.0 * 1024.0) if sys.platform == "darwin" else peak / 1024.0
+    print(
+        json.dumps(
+            {
+                "mode": mode,
+                "trials": count,
+                "checksum": checksum,
+                "elapsed_s": elapsed,
+                "peak_rss_mib": peak_mib,
+            }
+        )
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=1500)
+    parser.add_argument("--floats", type=int, default=512)
+    parser.add_argument(
+        "--mode", choices=("merged", "streamed"), default=None,
+        help="internal: run one mode in-process and print its JSON record",
+    )
+    args = parser.parse_args(argv)
+    if args.mode is not None:
+        return run_child(args.mode, args.trials, args.floats)
+
+    records = {}
+    for mode in ("merged", "streamed"):
+        result = subprocess.run(
+            [
+                sys.executable, os.path.abspath(__file__),
+                "--mode", mode,
+                "--trials", str(args.trials),
+                "--floats", str(args.floats),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            sys.stderr.write(result.stderr)
+            return 1
+        records[mode] = json.loads(result.stdout.strip().splitlines()[-1])
+
+    if records["merged"]["checksum"] != records["streamed"]["checksum"]:
+        print("error: merged and streamed folds disagree", file=sys.stderr)
+        return 1
+
+    width = max(len(m) for m in records)
+    print(
+        f"{'mode':<{width}}  {'trials':>7}  {'elapsed':>9}  {'peak RSS':>10}"
+    )
+    for mode, rec in records.items():
+        print(
+            f"{mode:<{width}}  {rec['trials']:>7}  "
+            f"{rec['elapsed_s']:>8.2f}s  {rec['peak_rss_mib']:>7.1f} MiB"
+        )
+    saved = (
+        records["merged"]["peak_rss_mib"] - records["streamed"]["peak_rss_mib"]
+    )
+    print(f"streamed store saves {saved:.1f} MiB of peak RSS at this grid size")
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        lines = [
+            "## Runner peak RSS: merged vs streamed result store",
+            "",
+            f"{args.trials} trials x {args.floats} floats/payload, "
+            "single process",
+            "",
+            "| mode | elapsed | peak RSS |",
+            "|---|---:|---:|",
+        ]
+        for mode, rec in records.items():
+            lines.append(
+                f"| {mode} | {rec['elapsed_s']:.2f} s | "
+                f"{rec['peak_rss_mib']:.1f} MiB |"
+            )
+        lines += [
+            "",
+            f"Streamed aggregation saves **{saved:.1f} MiB** of peak RSS.",
+            "",
+        ]
+        with open(summary, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

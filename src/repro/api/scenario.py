@@ -248,9 +248,28 @@ class Scenario:
     # -- estimation + scoring --------------------------------------------------
 
     def evaluate(
-        self, prepared: PreparedTopology, campaign: MeasurementCampaign
+        self,
+        prepared: PreparedTopology,
+        campaign: MeasurementCampaign,
+        target_consumer: Optional[
+            Callable[[str, Optional[int], int, Snapshot, InferenceResult], None]
+        ] = None,
     ) -> ScenarioResult:
-        """Stages 4+5: fit/predict every estimator and score it."""
+        """Stages 4+5: fit/predict every estimator and score it.
+
+        *target_consumer* streams multi-target batches: it is called as
+        ``consumer(label, num_training, target_index, target, result)``
+        for every scored target, in target order, and the returned
+        evaluations then retain only the *last* result per window — so a
+        long consecutive-snapshot study (the duration experiment, a
+        monitoring replay) folds its per-target statistics incrementally
+        instead of retaining every ``InferenceResult`` after scoring,
+        matching the runner's streaming result-store memory model.  Note
+        the batch solve itself is still one multi-RHS system (that is
+        what makes it fast), so the per-target results do exist
+        transiently while the window is scored; the consumer bounds what
+        the *returned* ``ScenarioResult`` holds on to.
+        """
         routing = prepared.routing
         max_m = len(campaign) - self.num_targets
         if max_m < 1:
@@ -275,7 +294,10 @@ class Scenario:
                     )
                     estimator.fit(training, paths=prepared.paths)
                     evaluations.append(
-                        self._score(spec, estimator, m, targets, routing)
+                        self._score(
+                            spec, estimator, m, targets, routing,
+                            target_consumer,
+                        )
                     )
             else:
                 context = MeasurementCampaign(
@@ -283,7 +305,10 @@ class Scenario:
                 )
                 estimator.fit(context, paths=prepared.paths)
                 evaluations.append(
-                    self._score(spec, estimator, None, targets, routing)
+                    self._score(
+                        spec, estimator, None, targets, routing,
+                        target_consumer,
+                    )
                 )
         return ScenarioResult(
             scenario=self,
@@ -300,11 +325,17 @@ class Scenario:
         num_training: Optional[int],
         targets: Sequence[Snapshot],
         routing,
+        target_consumer=None,
     ) -> EstimatorEvaluation:
         if len(targets) > 1:
             results = estimator.predict_batch(targets)
         else:
             results = [estimator.predict(targets[0])]
+        if target_consumer is not None:
+            for index, (target, result) in enumerate(zip(targets, results)):
+                target_consumer(
+                    spec.display_label, num_training, index, target, result
+                )
         detections: List[DetectionOutcome] = []
         for target, result in zip(targets, results):
             if target.truth is None:
@@ -334,7 +365,10 @@ class Scenario:
             spec=spec,
             label=spec.display_label,
             num_training=num_training,
-            results=results,
+            # With a consumer the caller has already folded per-target
+            # state; keep only the last result so memory stays flat in
+            # the target count.
+            results=results if target_consumer is None else [results[-1]],
             detections=detections,
             accuracy=accuracy,
         )
@@ -347,10 +381,11 @@ class Scenario:
         prepared: Optional[PreparedTopology] = None,
         campaign: Optional[MeasurementCampaign] = None,
         campaign_seed: Optional[int] = None,
+        target_consumer=None,
     ) -> ScenarioResult:
         """The full pipeline; stages already in hand can be passed in."""
         if prepared is None:
             prepared = self.prepare(seed)
         if campaign is None:
             campaign = self.simulate(prepared, seed, campaign_seed=campaign_seed)
-        return self.evaluate(prepared, campaign)
+        return self.evaluate(prepared, campaign, target_consumer=target_consumer)

@@ -18,7 +18,8 @@ Five verbs covering the operational loop without writing Python:
     side-by-side table of their verdicts per link;
 ``experiments``
     regenerate the paper's tables/figures through the parallel sharded
-    runner (``--jobs``, ``--cache-dir``; see ``repro.runner``).
+    runner (``--jobs``, ``--backend``, ``--cache-dir``, ``--store-dir``;
+    see ``repro.runner``).
 
 Examples::
 
@@ -30,6 +31,8 @@ Examples::
     python -m repro compare campaign.json --methods lia,scfs,tomo
     python -m repro experiments fig5 --scale small --jobs -1 \
         --cache-dir .repro-cache
+    python -m repro experiments table2 --scale paper --jobs 4 \
+        --backend thread --store-dir .repro-results
 """
 
 from __future__ import annotations

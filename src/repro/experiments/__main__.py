@@ -7,6 +7,8 @@ Examples::
     python -m repro.experiments all --scale tiny
     python -m repro.experiments fig8 --scale paper --jobs -1 \
         --cache-dir ~/.cache/repro-experiments
+    python -m repro.experiments fig5 --jobs 4 --backend thread \
+        --store-dir /tmp/repro-results
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.experiments import EXPERIMENTS, SCALES
-from repro.runner import ParallelRunner, RunnerStats
+from repro.runner import ParallelRunner
 from repro.runner.args import add_runner_arguments, runner_from_args
 
 
@@ -27,23 +29,24 @@ def run_experiments(
     seed: Optional[int],
     runner: ParallelRunner,
 ) -> None:
-    """Run experiments in order, printing each result and runner stats."""
+    """Run experiments in order, printing each result and runner stats.
+
+    Every experiment — timing and duration included — routes its trials
+    through ``runner.run()``, so ``last_stats`` always describes the
+    experiment just printed.
+    """
     for name in names:
-        runner.last_stats = RunnerStats()  # timing/duration never call run()
         start = time.perf_counter()
         result = EXPERIMENTS[name](scale=scale, seed=seed, runner=runner)
         elapsed = time.perf_counter() - start
         print(result.render())
         stats = runner.last_stats
-        if stats.trials_total:
-            print(
-                f"[{name} finished in {elapsed:.1f}s: "
-                f"{stats.trials_executed} trials executed, "
-                f"{stats.trials_cached} recalled from cache, "
-                f"jobs={runner.n_jobs}]"
-            )
-        else:
-            print(f"[{name} finished in {elapsed:.1f}s]")
+        print(
+            f"[{name} finished in {elapsed:.1f}s: "
+            f"{stats.trials_executed} trials executed, "
+            f"{stats.trials_cached} recalled from cache, "
+            f"backend={runner.backend.name}, jobs={runner.n_jobs}]"
+        )
         print()
 
 

@@ -26,6 +26,7 @@ import numpy as np
 from repro.experiments.base import (
     ExperimentResult,
     execute_trials,
+    fold_grouped,
     lia_scenario,
     repetition_seeds,
     scale_params,
@@ -117,17 +118,30 @@ def run(
             )
     payloads = execute_trials(runner, "ablations", trial, specs)
 
-    offset = 0
+    # One streaming pass: payloads arrive label-major (variable
+    # repetitions per label), folding into per-label metric lists.
+    folds: dict = {
+        label: {"dr": [], "fpr": [], "median_ae": [], "max_ae": []}
+        for label in labels
+    }
+
+    def fold(label, payload):
+        for metric in ("dr", "fpr", "median_ae", "max_ae"):
+            folds[label][metric].append(payload[metric])
+
+    fold_grouped(
+        payloads, [(label, reps_of[label]) for label in labels], fold
+    )
+
     for label in labels:
-        rows = payloads[offset : offset + reps_of[label]]
-        offset += reps_of[label]
+        metrics = folds[label]
         table.add_row(
             [
                 label,
-                float(np.mean([p["dr"] for p in rows])),
-                float(np.mean([p["fpr"] for p in rows])),
-                float(np.mean([p["median_ae"] for p in rows])),
-                float(np.mean([p["max_ae"] for p in rows])),
+                float(np.mean(metrics["dr"])),
+                float(np.mean(metrics["fpr"])),
+                float(np.mean(metrics["median_ae"])),
+                float(np.mean(metrics["max_ae"])),
             ]
         )
 

@@ -35,7 +35,7 @@ from repro.topology.prepare import (
     make_topology,
     prepare_topology,
 )
-from repro.runner import ParallelRunner, TrialSpec
+from repro.runner import ParallelRunner, ResultView, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
@@ -48,6 +48,7 @@ __all__ = [
     "ScaleParams",
     "TrialOutcome",
     "execute_trials",
+    "fold_grouped",
     "lia_scenario",
     "make_topology",
     "mean_and_ci",
@@ -239,7 +240,7 @@ def execute_trials(
     experiment: str,
     trial_fn: Callable[[TrialSpec], dict],
     specs: Sequence[TrialSpec],
-) -> List[dict]:
+) -> ResultView:
     """Run an experiment's trial list through a :class:`ParallelRunner`.
 
     Every experiment module phrases its Monte-Carlo campaign as a list of
@@ -249,6 +250,40 @@ def execute_trials(
     no cache) executes the trials in-process in spec order — exactly the
     behaviour the harness had before it learned to parallelise, seed for
     seed.
+
+    The return value is a lazy, index-ordered
+    :class:`~repro.runner.store.ResultView`: aggregators fold it in a
+    single pass so a disk-backed (``store_dir``) campaign streams one
+    payload at a time instead of materialising the whole grid in RAM.
     """
     active = runner if runner is not None else ParallelRunner(n_jobs=1)
     return active.run(experiment, trial_fn, specs)
+
+
+def fold_grouped(
+    payloads: Sequence[dict],
+    groups: Sequence[Tuple[object, int]],
+    fold: Callable[[object, dict], None],
+) -> None:
+    """Single-pass fold of a block-layout payload sequence.
+
+    Experiments that build their spec list group-major (all repetitions
+    of one topology kind / grid value / ablation label, then the next)
+    aggregate with this: *groups* is ``[(key, count), ...]`` in the same
+    order the specs were appended, and *fold* is called as
+    ``fold(key, payload)`` exactly once per payload, in trial order.
+    One pass over the (possibly disk-backed) view, no index arithmetic
+    at the call sites.
+    """
+    total = sum(count for _, count in groups)
+    if len(payloads) != total:
+        raise ValueError(
+            f"group sizes cover {total} payloads, got {len(payloads)}"
+        )
+    group_iter = iter(groups)
+    key, remaining = None, 0
+    for payload in payloads:
+        while remaining == 0:
+            key, remaining = next(group_iter)
+        fold(key, payload)
+        remaining -= 1

@@ -10,6 +10,17 @@ variances once from the first m snapshots, infer each of the following
 consecutive snapshots, extract per-link congestion run lengths from the
 inferred states, and report the run-length distribution.  Expected
 shape: overwhelmingly length-1 runs, a small tail at 2+.
+
+The whole study is one trial through the sharded runner (the
+consecutive-snapshot chain is inherently sequential, but routing it
+through ``ParallelRunner`` gives it the shard cache, the streaming
+result store and honest runner stats for free).  Inside the trial the
+per-target states are folded *as the scenario scores them* via
+``target_consumer`` — run lengths accumulate incrementally and the
+scenario result retains only the last ``InferenceResult`` instead of
+all of them.  (The engine still solves the window as one multi-RHS
+system, so the per-target results exist transiently during the solve;
+the fold bounds what outlives scoring.)
 """
 
 from __future__ import annotations
@@ -19,41 +30,52 @@ from typing import List, Optional
 import numpy as np
 
 from repro.api import EstimatorSpec, Scenario
-from repro.experiments.base import ExperimentResult, scale_params
+from repro.experiments.base import (
+    ExperimentResult,
+    execute_trials,
+    scale_params,
+)
 from repro.lossmodel import INTERNET
 from repro.probing import ProberConfig
-from repro.runner import ParallelRunner
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.tables import TextTable
 
 THRESHOLD = 0.01
 
-
-def run_lengths(states: np.ndarray) -> List[int]:
-    """Lengths of True-runs in each row of a (links, time) boolean matrix."""
-    lengths: List[int] = []
-    for row in states:
-        count = 0
-        for value in row:
-            if value:
-                count += 1
-            elif count:
-                lengths.append(count)
-                count = 0
-        if count:
-            lengths.append(count)
-    return lengths
+NUM_CONSECUTIVE = {"tiny": 10, "small": 30, "paper": 100}
 
 
-def run(
-    scale: str = "small",
-    seed: Optional[int] = 0,
-    runner: Optional[ParallelRunner] = None,
-) -> ExperimentResult:
-    # Inherently sequential (consecutive-snapshot inference with shared
-    # learned variances); `runner` is accepted for interface uniformity.
-    del runner
-    params = scale_params(scale)
-    num_consecutive = {"tiny": 10, "small": 30, "paper": 100}[scale]
+class RunLengthFold:
+    """Streaming run-length extraction over per-link boolean states.
+
+    Feed one ``(links,)`` boolean column per time step; completed runs
+    collect per link so :meth:`finish` reproduces the row-major order of
+    a whole-matrix scan while only the open-run counters and the output
+    itself stay resident.
+    """
+
+    def __init__(self, num_links: int) -> None:
+        self._open = np.zeros(num_links, dtype=np.int64)
+        self._per_link: List[List[int]] = [[] for _ in range(num_links)]
+
+    def update(self, states: np.ndarray) -> None:
+        closing = (~states) & (self._open > 0)
+        for link in np.flatnonzero(closing):
+            self._per_link[link].append(int(self._open[link]))
+        self._open[~states] = 0
+        self._open[states] += 1
+
+    def finish(self) -> List[int]:
+        for link in np.flatnonzero(self._open > 0):
+            self._per_link[link].append(int(self._open[link]))
+        self._open[:] = 0
+        return [length for runs in self._per_link for length in runs]
+
+
+def trial(spec: TrialSpec) -> dict:
+    """The consecutive-snapshot study, folded one target at a time."""
+    params = scale_params(spec.params["scale"])
+    num_consecutive = NUM_CONSECUTIVE[spec.params["scale"]]
 
     # One scenario with many target snapshots: variances are learned once
     # from the leading window, and the engine solves all consecutive
@@ -72,18 +94,34 @@ def run(
         num_targets=num_consecutive,
         estimators=(EstimatorSpec("lia"),),
     )
-    outcome = scenario.run(seed=seed)
-    routing = outcome.prepared.routing
+    prepared = scenario.prepare(spec.seed)
+    routing = prepared.routing
+    inferred = RunLengthFold(routing.num_links)
+    actual = RunLengthFold(routing.num_links)
 
-    inferred = np.zeros((routing.num_links, num_consecutive), dtype=bool)
-    actual = np.zeros_like(inferred)
-    results = outcome.evaluations[0].results
-    for t, (snapshot, result) in enumerate(zip(outcome.targets, results)):
-        inferred[:, t] = result.values > THRESHOLD
-        actual[:, t] = snapshot.virtual_congested(routing)
+    def consume(label, num_training, index, snapshot, result):
+        inferred.update(result.values > THRESHOLD)
+        actual.update(snapshot.virtual_congested(routing))
 
-    lengths = run_lengths(inferred)
-    actual_lengths = run_lengths(actual)
+    scenario.run(seed=spec.seed, prepared=prepared, target_consumer=consume)
+    return {
+        "inferred_lengths": inferred.finish(),
+        "actual_lengths": actual.finish(),
+    }
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
+    params = scale_params(scale)
+    num_consecutive = NUM_CONSECUTIVE[scale]
+
+    specs = [TrialSpec("duration", 0, seed=seed, params={"scale": scale})]
+    (payload,) = execute_trials(runner, "duration", trial, specs)
+    lengths = payload["inferred_lengths"]
+    actual_lengths = payload["actual_lengths"]
 
     table = TextTable(
         ["run length", "inferred runs (%)", "ground-truth runs (%)"],

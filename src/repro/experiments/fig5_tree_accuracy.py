@@ -96,14 +96,18 @@ def run(
     ]
     payloads = execute_trials(runner, "fig5", trial, specs)
 
-    lia_dr: Dict[int, List[float]] = {
-        m: [p["lia_dr"][str(m)] for p in payloads] for m in grid
-    }
-    lia_fpr: Dict[int, List[float]] = {
-        m: [p["lia_fpr"][str(m)] for p in payloads] for m in grid
-    }
-    scfs_dr: List[float] = [p["scfs_dr"] for p in payloads]
-    scfs_fpr: List[float] = [p["scfs_fpr"] for p in payloads]
+    # One streaming pass: each payload is read from the result store
+    # once and folded into the per-m series.
+    lia_dr: Dict[int, List[float]] = {m: [] for m in grid}
+    lia_fpr: Dict[int, List[float]] = {m: [] for m in grid}
+    scfs_dr: List[float] = []
+    scfs_fpr: List[float] = []
+    for payload in payloads:
+        for m in grid:
+            lia_dr[m].append(payload["lia_dr"][str(m)])
+            lia_fpr[m].append(payload["lia_fpr"][str(m)])
+        scfs_dr.append(payload["scfs_dr"])
+        scfs_fpr.append(payload["scfs_fpr"])
 
     table = TextTable(["m", "LIA DR", "LIA FPR", "SCFS DR", "SCFS FPR"])
     mean_scfs_dr = float(np.mean(scfs_dr))

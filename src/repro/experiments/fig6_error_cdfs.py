@@ -65,12 +65,15 @@ def run(
     ]
     payloads = execute_trials(runner, "fig6", trial, specs)
 
-    abs_cdf = EmpiricalCDF.of(
-        np.concatenate([np.asarray(p["abs_errors"]) for p in payloads])
-    )
-    factor_cdf = EmpiricalCDF.of(
-        np.concatenate([np.asarray(p["factors"]) for p in payloads])
-    )
+    # One streaming pass: pooled error samples accumulate per payload;
+    # only the samples themselves (the CDFs' input) stay resident.
+    abs_chunks: list = []
+    factor_chunks: list = []
+    for payload in payloads:
+        abs_chunks.append(np.asarray(payload["abs_errors"]))
+        factor_chunks.append(np.asarray(payload["factors"]))
+    abs_cdf = EmpiricalCDF.of(np.concatenate(abs_chunks))
+    factor_cdf = EmpiricalCDF.of(np.concatenate(factor_chunks))
 
     table = TextTable(
         ["abs err x", "P(err<=x)", "factor x", "P(f<=x)"], float_fmt="{:.4f}"

@@ -22,6 +22,7 @@ from repro.experiments.base import (
     MESH_TOPOLOGY_KINDS,
     ExperimentResult,
     execute_trials,
+    fold_grouped,
     lia_scenario,
     repetition_seeds,
     scale_params,
@@ -75,14 +76,27 @@ def run(
             )
     payloads = execute_trials(runner, "fig7", trial, specs)
 
-    for i, kind in enumerate(kinds):
-        rows = payloads[i * len(rep_seeds) : (i + 1) * len(rep_seeds)]
-        congested_counts = [p["num_congested"] for p in rows]
-        kept_counts = [p["num_kept"] for p in rows]
+    # One streaming pass grouped by the (kind-major, rep-minor) spec
+    # layout: per-kind folds hold only the scalar metrics.
+    folds = {
+        kind: {"congested": [], "kept": [], "removed": []} for kind in kinds
+    }
+
+    def fold(kind, payload):
+        folds[kind]["congested"].append(payload["num_congested"])
+        folds[kind]["kept"].append(payload["num_kept"])
+        folds[kind]["removed"].append(payload["removed_congested"])
+
+    fold_grouped(payloads, [(kind, len(rep_seeds)) for kind in kinds], fold)
+
+    for kind in kinds:
+        metrics = folds[kind]
+        congested_counts = metrics["congested"]
+        kept_counts = metrics["kept"]
         ratios = [
-            p["num_congested"] / p["num_kept"] for p in rows if p["num_kept"]
+            c / k for c, k in zip(congested_counts, kept_counts) if k
         ]
-        removed_congested = [p["removed_congested"] for p in rows]
+        removed_congested = metrics["removed"]
         table.add_row(
             [
                 kind,

@@ -23,6 +23,7 @@ import numpy as np
 from repro.experiments.base import (
     ExperimentResult,
     execute_trials,
+    fold_grouped,
     lia_scenario,
     repetition_seeds,
     scale_params,
@@ -103,21 +104,26 @@ def run(
     )
     payloads = execute_trials(runner, "fig8", trial, p_specs + s_specs)
 
-    def collect(values, offset) -> Dict:
-        raw: Dict[float, Dict[str, List[float]]] = {}
-        for i, value in enumerate(values):
-            rows = payloads[
-                offset + i * params.repetitions :
-                offset + (i + 1) * params.repetitions
-            ]
-            raw[value] = {
-                "dr": [p["dr"] for p in rows],
-                "fpr": [p["fpr"] for p in rows],
-            }
-        return raw
+    # One streaming pass over both panels: each payload folds into its
+    # (panel, grid value) bucket following the value-major, rep-minor
+    # spec layout.
+    raw_p: Dict[float, Dict[str, List[float]]] = {
+        v: {"dr": [], "fpr": []} for v in p_values
+    }
+    raw_s: Dict[float, Dict[str, List[float]]] = {
+        v: {"dr": [], "fpr": []} for v in s_values
+    }
 
-    raw_p = collect(p_values, 0)
-    raw_s = collect(s_values, len(p_specs))
+    def fold(bucket, payload):
+        bucket["dr"].append(payload["dr"])
+        bucket["fpr"].append(payload["fpr"])
+
+    fold_grouped(
+        payloads,
+        [(raw_p[v], params.repetitions) for v in p_values]
+        + [(raw_s[v], params.repetitions) for v in s_values],
+        fold,
+    )
 
     combined = TextTable(["panel", "value", "DR", "FPR"])
     for value in p_values:

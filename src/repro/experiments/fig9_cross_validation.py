@@ -132,9 +132,11 @@ def run(
         for rep, rep_seed in enumerate(repetition_seeds(seed, params.repetitions))
     ]
     payloads = execute_trials(runner, "fig9", trial, specs)
-    rates: Dict[int, List[float]] = {
-        m: [p["rates"][str(m)] for p in payloads] for m in grid
-    }
+    # One streaming pass folding each repetition into the per-m series.
+    rates: Dict[int, List[float]] = {m: [] for m in grid}
+    for payload in payloads:
+        for m in grid:
+            rates[m].append(payload["rates"][str(m)])
 
     table = TextTable(["m", "consistent paths (%)"], float_fmt="{:.2f}")
     for m in grid:

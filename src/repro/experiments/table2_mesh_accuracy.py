@@ -25,6 +25,7 @@ from repro.experiments.base import (
     MESH_TOPOLOGY_KINDS,
     ExperimentResult,
     execute_trials,
+    fold_grouped,
     lia_scenario,
     repetition_seeds,
     scale_params,
@@ -86,13 +87,32 @@ def run(
             )
     payloads = execute_trials(runner, "table2", trial, specs)
 
+    # One streaming pass grouped by the (kind-major, rep-minor) spec
+    # layout; per-kind error pools accumulate incrementally.
+    folds: Dict[str, Dict[str, list]] = {
+        kind: {"dr": [], "fpr": [], "ef": [], "ae": []}
+        for kind in MESH_TOPOLOGY_KINDS
+    }
+
+    def fold(kind, payload):
+        folds[kind]["dr"].append(payload["dr"])
+        folds[kind]["fpr"].append(payload["fpr"])
+        folds[kind]["ef"].append(np.asarray(payload["error_factors"]))
+        folds[kind]["ae"].append(np.asarray(payload["absolute_errors"]))
+
+    fold_grouped(
+        payloads,
+        [(kind, len(rep_seeds)) for kind in MESH_TOPOLOGY_KINDS],
+        fold,
+    )
+
     raw: Dict[str, Dict[str, object]] = {}
-    for i, kind in enumerate(MESH_TOPOLOGY_KINDS):
-        rows = payloads[i * len(rep_seeds) : (i + 1) * len(rep_seeds)]
-        drs = [p["dr"] for p in rows]
-        fprs = [p["fpr"] for p in rows]
-        ef = np.concatenate([np.asarray(p["error_factors"]) for p in rows])
-        ae = np.concatenate([np.asarray(p["absolute_errors"]) for p in rows])
+    for kind in MESH_TOPOLOGY_KINDS:
+        metrics = folds[kind]
+        drs = metrics["dr"]
+        fprs = metrics["fpr"]
+        ef = np.concatenate(metrics["ef"])
+        ae = np.concatenate(metrics["ae"])
         table.add_row(
             [
                 kind,

@@ -111,14 +111,14 @@ def run(
         for rep, rep_seed in enumerate(repetition_seeds(seed, params.repetitions))
     ]
     payloads = execute_trials(runner, "table3", trial, specs)
-    counts: Dict[float, List[float]] = {
-        t: [
-            p["inter_fractions"][str(t)]
-            for p in payloads
-            if p["inter_fractions"][str(t)] is not None
-        ]
-        for t in THRESHOLDS
-    }
+    # One streaming pass folding each repetition into the per-threshold
+    # series (None = no link crossed that threshold in the repetition).
+    counts: Dict[float, List[float]] = {t: [] for t in THRESHOLDS}
+    for payload in payloads:
+        for t in THRESHOLDS:
+            fraction = payload["inter_fractions"][str(t)]
+            if fraction is not None:
+                counts[t].append(fraction)
 
     table = TextTable(["t_l", "inter-AS (%)", "intra-AS (%)"], float_fmt="{:.1f}")
     for threshold in THRESHOLDS:

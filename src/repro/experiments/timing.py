@@ -11,6 +11,11 @@ intersecting-pairs structure (A), phase 1 (variance learning), the
 full-rank reduction, and the phase-2 solve.  Expected shape: building A
 dominates; it amortises across snapshots; per-snapshot inference is
 sub-second.
+
+The measurement is one trial through the sharded runner, marked
+``cacheable=False``: wall-clock numbers are live state, so the shard
+cache must never replay them — every invocation re-times the stages on
+the current machine.
 """
 
 from __future__ import annotations
@@ -23,25 +28,20 @@ from repro.core.lia import LossInferenceAlgorithm
 from repro.core.reduction import reduce_to_full_rank, solve_reduced_system
 from repro.experiments.base import (
     ExperimentResult,
+    execute_trials,
     prepare_topology,
     scale_params,
 )
 from repro.probing import ProberConfig, ProbingSimulator
-from repro.runner import ParallelRunner
+from repro.runner import ParallelRunner, TrialSpec
 from repro.utils.rng import derive_seed
 from repro.utils.tables import TextTable
 
 
-def run(
-    scale: str = "small",
-    seed: Optional[int] = 0,
-    runner: Optional[ParallelRunner] = None,
-) -> ExperimentResult:
-    # Wall-clock timings are the measurement itself: caching or running
-    # them in a worker pool would corrupt them, so `runner` is accepted
-    # for interface uniformity and deliberately unused.
-    del runner
-    params = scale_params(scale)
+def trial(spec: TrialSpec) -> dict:
+    """Time each pipeline stage once on the tree topology."""
+    params = scale_params(spec.params["scale"])
+    seed = spec.seed
     prepared = prepare_topology("tree", params, derive_seed(seed, 0))
     simulator = ProbingSimulator(
         prepared.paths,
@@ -86,29 +86,56 @@ def run(
     lia.infer(target, estimate)
     t_infer_warm = time.perf_counter() - t0
 
+    return {
+        "build_a": t_build_a,
+        "phase1": t_phase1,
+        "reduce": t_reduce,
+        "phase2_solve": t_phase2_solve,
+        "infer": t_infer,
+        "infer_warm": t_infer_warm,
+        "num_paths": prepared.routing.num_paths,
+        "num_links": prepared.routing.num_links,
+    }
+
+
+def run(
+    scale: str = "small",
+    seed: Optional[int] = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
+    params = scale_params(scale)
+    specs = [
+        TrialSpec(
+            "timing", 0, seed=seed, params={"scale": scale}, cacheable=False
+        )
+    ]
+    (payload,) = execute_trials(runner, "timing", trial, specs)
+
     table = TextTable(["stage", "seconds"], float_fmt="{:.4f}")
-    table.add_row(["build A (once per network)", t_build_a])
-    table.add_row(["phase 1: learn variances", t_phase1])
-    table.add_row(["phase 2: full-rank reduction", t_reduce])
-    table.add_row(["phase 2: reduced solve (eq. 9)", t_phase2_solve])
-    table.add_row(["per-snapshot inference total", t_infer])
-    table.add_row(["per-snapshot inference (warm engine)", t_infer_warm])
+    table.add_row(["build A (once per network)", payload["build_a"]])
+    table.add_row(["phase 1: learn variances", payload["phase1"]])
+    table.add_row(["phase 2: full-rank reduction", payload["reduce"]])
+    table.add_row(["phase 2: reduced solve (eq. 9)", payload["phase2_solve"]])
+    table.add_row(["per-snapshot inference total", payload["infer"]])
+    table.add_row(
+        ["per-snapshot inference (warm engine)", payload["infer_warm"]]
+    )
 
     result = ExperimentResult(
         name="timing",
         description=(
             f"Running times on the tree topology "
-            f"({prepared.routing.num_paths} paths, "
-            f"{prepared.routing.num_links} links, m={params.snapshots})"
+            f"({payload['num_paths']} paths, "
+            f"{payload['num_links']} links, m={params.snapshots})"
         ),
         table=table,
         data={
-            "build_a": t_build_a,
-            "phase1": t_phase1,
-            "reduce": t_reduce,
-            "phase2_solve": t_phase2_solve,
-            "infer": t_infer,
-            "infer_warm": t_infer_warm,
+            "build_a": payload["build_a"],
+            "phase1": payload["phase1"],
+            "reduce": payload["reduce"],
+            "phase2_solve": payload["phase2_solve"],
+            "infer": payload["infer"],
+            "infer_warm": payload["infer_warm"],
         },
     )
     result.notes.append(

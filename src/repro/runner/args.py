@@ -1,8 +1,11 @@
 """Argparse glue for the runner knobs.
 
 Shared by ``python -m repro.experiments`` and the ``repro experiments``
-verb so both expose identical ``--jobs``/``--cache-dir``/``--shard-size``
-flags with parse-time validation.  Lives in ``repro.runner`` (not the
+verb so both expose identical ``--jobs``/``--backend``/``--cache-dir``/
+``--shard-size``/``--store-dir`` flags with parse-time validation.
+:class:`RunnerArgs` is the typed form of those flags — the one record a
+caller (CLI, notebook, service config) needs to hold to rebuild the
+same :class:`ParallelRunner`.  Lives in ``repro.runner`` (not the
 experiments package) so building a parser never has to import the
 experiment modules and their scipy/netsim dependency stack.
 """
@@ -11,7 +14,10 @@ from __future__ import annotations
 
 import argparse
 import os
+from dataclasses import dataclass
+from typing import Optional
 
+from repro.runner.backends import available_backends
 from repro.runner.core import ParallelRunner
 
 
@@ -31,10 +37,46 @@ def _shard_size(value: str) -> int:
     return size
 
 
-def _cache_dir(value: str) -> str:
+def _dir_path(value: str) -> str:
     if os.path.exists(value) and not os.path.isdir(value):
         raise argparse.ArgumentTypeError(f"{value!r} exists and is not a directory")
     return value
+
+
+@dataclass(frozen=True)
+class RunnerArgs:
+    """The runner configuration one command line (or service) carries.
+
+    ``backend=None`` defers to the runner's default: ``serial`` for
+    ``jobs=1``, ``process`` otherwise.  ``store_dir=None`` keeps
+    payloads in RAM; a directory streams them to a JSONL spill file as
+    workers finish (larger-than-memory campaigns).
+    """
+
+    jobs: int = 1
+    backend: Optional[str] = None
+    cache_dir: Optional[str] = None
+    shard_size: int = 1
+    store_dir: Optional[str] = None
+
+    @classmethod
+    def from_namespace(cls, args: argparse.Namespace) -> "RunnerArgs":
+        return cls(
+            jobs=args.jobs,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+            shard_size=args.shard_size,
+            store_dir=args.store_dir,
+        )
+
+    def build(self) -> ParallelRunner:
+        return ParallelRunner(
+            n_jobs=self.jobs,
+            backend=self.backend,
+            cache_dir=self.cache_dir,
+            shard_size=self.shard_size,
+            store_dir=self.store_dir,
+        )
 
 
 def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -43,11 +85,20 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         type=_jobs,
         default=1,
-        help="worker processes (1 = sequential, -1 = all cores)",
+        help="worker count (1 = sequential, -1 = all cores)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help=(
+            "execution backend (default: serial for --jobs 1, process "
+            "otherwise; thread suits BLAS-bound trials that release the GIL)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
-        type=_cache_dir,
+        type=_dir_path,
         default=None,
         help="directory for the shard result cache (default: no caching)",
     )
@@ -57,11 +108,16 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="trials per shard / cache entry (default 1)",
     )
+    parser.add_argument(
+        "--store-dir",
+        type=_dir_path,
+        default=None,
+        help=(
+            "stream shard payloads to a JSONL file under this directory as "
+            "workers finish instead of holding them in RAM (default: in-RAM)"
+        ),
+    )
 
 
 def runner_from_args(args: argparse.Namespace) -> ParallelRunner:
-    return ParallelRunner(
-        n_jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        shard_size=args.shard_size,
-    )
+    return RunnerArgs.from_namespace(args).build()

@@ -29,25 +29,32 @@ CACHE_FORMAT = "repro-shard/1"
 _code_version_cache: Optional[str] = None
 
 
-def compute_code_version() -> str:
-    """Content hash of every ``.py`` file in the installed ``repro`` package.
+def _hash_tree(root: Path) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
 
-    Cached per process: the sources cannot change under a running
+
+def compute_code_version(root: "Optional[os.PathLike]" = None) -> str:
+    """Content hash of every ``.py`` file under *root*.
+
+    *root* defaults to the installed ``repro`` package, and that default
+    is cached per process: the sources cannot change under a running
     campaign, and hashing ~100 files per shard lookup would dominate
-    small trials.
+    small trials.  An explicit *root* is hashed fresh every call (tests
+    pin the invalidation contract against a scratch tree).
     """
     global _code_version_cache
+    if root is not None:
+        return _hash_tree(Path(root).resolve())
     if _code_version_cache is None:
         import repro
 
-        root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        _code_version_cache = digest.hexdigest()[:16]
+        _code_version_cache = _hash_tree(Path(repro.__file__).resolve().parent)
     return _code_version_cache
 
 

@@ -1,47 +1,65 @@
 """The parallel experiment runner.
 
 :class:`ParallelRunner` maps a trial function over a list of
-:class:`~repro.runner.spec.TrialSpec`, sharding the list across
-``multiprocessing`` workers and memoizing completed shards on disk.
-Guarantees:
+:class:`~repro.runner.spec.TrialSpec`, sharding the list across an
+:class:`~repro.runner.backends.ExecutionBackend` and memoizing completed
+shards on disk.  Guarantees:
 
 * **Determinism** — every trial's randomness comes from the derived seed
-  baked into its spec, and sharding is independent of the worker count,
-  so ``n_jobs=1`` and ``n_jobs=8`` produce identical payload lists.
-  ``n_jobs=1`` runs everything in-process (no pool, no pickling): it *is*
-  the sequential runner, not an emulation of one.
-* **Arrival-order merge** — shard payloads are merged as workers finish
-  (recorded in :attr:`RunnerStats.arrival_order`), but the returned list
-  is keyed by each spec's ``index``, so callers always see trial order.
+  baked into its spec, and sharding is independent of both the worker
+  count and the backend, so ``n_jobs=1`` and ``n_jobs=8``, ``serial``,
+  ``process`` and ``thread`` all produce identical payload sequences.
+* **Streamed, index-ordered results** — shard payloads are appended to a
+  :class:`~repro.runner.store.ResultStore` as workers finish (recorded in
+  :attr:`RunnerStats.arrival_order`); :meth:`ParallelRunner.run` returns
+  a lazy :class:`~repro.runner.store.ResultView` keyed by each spec's
+  ``index``, so callers always see trial order.  With ``store_dir`` the
+  store spills to a JSONL file and peak RSS stays flat in trial count.
 * **Memoization** — with a ``cache_dir``, completed shards are stored as
   JSON keyed by (experiment, trial identities, code version); re-runs
   and overlapping sweeps skip finished work.  Payloads are forced
   through a JSON round-trip even on a miss, so cached and fresh runs
   return byte-identical structures.  Shards containing ``seed=None``
-  trials (fresh random draws by contract) are executed every time and
-  never stored — memoizing them would replay old randomness.
+  trials (fresh random draws by contract) or ``cacheable=False`` trials
+  (wall-clock measurements) are executed every time and never stored.
 * **Fail-loud workers** — an exception in any trial aborts the run with
-  a :class:`ShardExecutionError` carrying the worker's traceback.
+  a :class:`ShardExecutionError` naming the backend and the surviving
+  cache state, so a crashed distributed run is resumable by re-invoking
+  the same command.
 """
 
 from __future__ import annotations
 
 import os
-import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Union
 
 import multiprocessing
 
+from repro.runner.backends import (
+    ExecutionBackend,
+    TrialFunction,
+    get_backend,
+)
 from repro.runner.cache import ShardCache, compute_code_version
-from repro.runner.spec import TrialSpec, json_roundtrip, shard_key, shard_specs
-
-TrialFunction = Callable[[TrialSpec], Any]
+from repro.runner.spec import TrialSpec, shard_key, shard_specs
+from repro.runner.store import (
+    JsonlResultStore,
+    MemoryResultStore,
+    ResultStore,
+    ResultView,
+)
 
 
 class ShardExecutionError(RuntimeError):
-    """A trial raised (or its worker died) while executing a shard."""
+    """A trial raised (or its worker died) while executing a shard.
+
+    Carries enough context to make a crashed campaign resumable: the
+    backend that ran the shard, the shard cache directory (if any) and
+    how many shards had already been persisted when the run aborted.
+    With a cache, re-invoking the *same command* skips every completed
+    shard and resumes at the failure.
+    """
 
     def __init__(
         self,
@@ -49,15 +67,36 @@ class ShardExecutionError(RuntimeError):
         shard_index: int,
         specs: Sequence[TrialSpec],
         worker_traceback: str,
+        backend: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        shards_completed: int = 0,
+        shards_total: int = 0,
     ) -> None:
         self.experiment = experiment
         self.shard_index = shard_index
         self.specs = list(specs)
         self.worker_traceback = worker_traceback
+        self.backend = backend
+        self.cache_dir = cache_dir
+        self.shards_completed = shards_completed
+        self.shards_total = shards_total
         indices = [spec.index for spec in self.specs]
+        backend_note = f" on backend {backend!r}" if backend else ""
+        if cache_dir is not None:
+            resume = (
+                f"cache state: {shards_completed}/{shards_total} shards "
+                f"persisted under {cache_dir} — re-invoke the same command "
+                "to resume from there."
+            )
+        else:
+            resume = (
+                "no shard cache configured: completed shards will re-execute "
+                "on retry (pass --cache-dir to make crashes resumable)."
+            )
         super().__init__(
             f"shard {shard_index} of experiment {experiment!r} "
-            f"(trials {indices}) failed:\n{worker_traceback}"
+            f"(trials {indices}) failed{backend_note}:\n{worker_traceback}\n"
+            f"{resume}"
         )
 
 
@@ -69,25 +108,14 @@ class RunnerStats:
     shards_total: int = 0
     shards_executed: int = 0
     shards_cached: int = 0
+    #: Executed shards actually written to the cache (excludes
+    #: ``seed=None``/``cacheable=False`` shards, which never persist).
+    shards_stored: int = 0
     trials_executed: int = 0
     trials_cached: int = 0
     #: Shard indices in the order their results arrived (cache hits first,
     #: then executed shards as workers finished them).
     arrival_order: List[int] = field(default_factory=list)
-
-
-def _execute_shard(trial_fn: TrialFunction, shard: List[TrialSpec]) -> List[Any]:
-    """Run every trial of a shard; payloads are JSON-normalised."""
-    return [json_roundtrip(trial_fn(spec)) for spec in shard]
-
-
-def _shard_worker(args: "tuple[TrialFunction, List[TrialSpec]]"):
-    """Pool entry point: capture the traceback instead of pickling errors."""
-    trial_fn, shard = args
-    try:
-        return ("ok", _execute_shard(trial_fn, shard))
-    except BaseException:
-        return ("error", traceback.format_exc())
 
 
 def default_n_jobs() -> int:
@@ -96,12 +124,12 @@ def default_n_jobs() -> int:
 
 
 class ParallelRunner:
-    """Shard a trial list across processes, with optional shard memoization.
+    """Shard a trial list across an execution backend, with memoization.
 
     Parameters
     ----------
     n_jobs:
-        Worker processes; ``1`` (default) executes sequentially in this
+        Worker count; ``1`` (default) executes sequentially in this
         process, ``-1`` uses every core.
     cache_dir:
         Directory for the shard cache; ``None`` disables memoization.
@@ -114,8 +142,20 @@ class ParallelRunner:
     mp_context:
         ``multiprocessing`` start-method name; defaults to ``fork``
         where available (cheap on Linux) and ``spawn`` elsewhere.
-        Trial functions must be module-level (picklable) for any
-        ``n_jobs != 1``.
+        Trial functions must be module-level (picklable) for the
+        ``process`` backend.
+    backend:
+        Execution backend: a registered name (``"serial"``,
+        ``"process"``, ``"thread"``, or anything added through
+        :func:`~repro.runner.backends.register_backend`) or an
+        :class:`~repro.runner.backends.ExecutionBackend` instance.
+        ``None`` (default) selects ``serial`` for ``n_jobs=1`` and
+        ``process`` otherwise — exactly the historical behaviour.
+    store_dir:
+        When set, shard payloads stream to a JSONL file under this
+        directory as workers finish instead of accumulating in RAM;
+        :meth:`run` still returns an index-ordered view.  ``None``
+        (default) keeps payloads in memory.
     """
 
     def __init__(
@@ -125,6 +165,8 @@ class ParallelRunner:
         shard_size: int = 1,
         code_version: Optional[str] = None,
         mp_context: Optional[str] = None,
+        backend: Union[str, ExecutionBackend, None] = None,
+        store_dir: Optional[os.PathLike] = None,
     ) -> None:
         if n_jobs == 0 or n_jobs < -1:
             raise ValueError(
@@ -132,12 +174,21 @@ class ParallelRunner:
             )
         self.n_jobs = default_n_jobs() if n_jobs == -1 else n_jobs
         self.cache = ShardCache(cache_dir) if cache_dir is not None else None
+        self.cache_dir = cache_dir
         self.shard_size = shard_size
         self._code_version = code_version
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
         self.mp_context = mp_context
+        if backend is None:
+            backend = "serial" if self.n_jobs == 1 else "process"
+        if isinstance(backend, str):
+            backend = get_backend(
+                backend, n_jobs=self.n_jobs, mp_context=self.mp_context
+            )
+        self.backend: ExecutionBackend = backend
+        self.store_dir = store_dir
         self.last_stats = RunnerStats()
 
     @property
@@ -148,13 +199,18 @@ class ParallelRunner:
 
     # -- execution -----------------------------------------------------------
 
+    def _make_store(self, experiment: str, capacity: int) -> ResultStore:
+        if self.store_dir is None:
+            return MemoryResultStore(capacity)
+        return JsonlResultStore.create(self.store_dir, experiment, capacity)
+
     def run(
         self,
         experiment: str,
         trial_fn: TrialFunction,
         specs: Sequence[TrialSpec],
-    ) -> List[Any]:
-        """Execute (or recall) every trial; payloads in spec-index order."""
+    ) -> ResultView:
+        """Execute (or recall) every trial; view in spec-index order."""
         specs = list(specs)
         indices = sorted(spec.index for spec in specs)
         if indices != list(range(len(specs))):
@@ -164,8 +220,10 @@ class ParallelRunner:
             )
         stats = RunnerStats(trials_total=len(specs))
         self.last_stats = stats
+        store = self._make_store(experiment, len(specs))
         if not specs:
-            return []
+            store.finalize()
+            return ResultView(store)
 
         shards = shard_specs(specs, self.shard_size)
         stats.shards_total = len(shards)
@@ -176,15 +234,19 @@ class ParallelRunner:
             ]
             # A seed=None trial is a fresh random draw by contract;
             # replaying a memoized draw would silently correlate
-            # "independent" re-runs, so such shards are never cached.
+            # "independent" re-runs.  A cacheable=False trial measures
+            # wall-clock state; replaying it would report stale numbers.
+            # Neither kind of shard is ever stored.
             cacheable = [
-                all(spec.seed is not None for spec in shard) for shard in shards
+                all(
+                    spec.seed is not None and spec.cacheable for spec in shard
+                )
+                for shard in shards
             ]
         else:  # keys are only cache identities; skip source hashing entirely
             keys = [None] * len(shards)
             cacheable = [False] * len(shards)
 
-        results: List[Any] = [None] * len(specs)
         pending: List[int] = []
         for shard_index, (shard, key) in enumerate(zip(shards, keys)):
             cached = (
@@ -193,22 +255,47 @@ class ParallelRunner:
                 else None
             )
             if cached is not None:
-                self._merge(results, shard, cached)
+                self._merge(store, shard, cached)
                 stats.shards_cached += 1
                 stats.trials_cached += len(shard)
                 stats.arrival_order.append(shard_index)
             else:
                 pending.append(shard_index)
 
-        if pending:
-            run_pending = (
-                self._run_sequential if self.n_jobs == 1 else self._run_parallel
-            )
-            run_pending(
-                experiment, trial_fn, shards, keys, cacheable, pending,
-                results, stats,
-            )
-        return results
+        try:
+            if pending:
+                jobs = [(i, shards[i]) for i in pending]
+                for shard_index, outcome in self.backend.run_shards(
+                    trial_fn, jobs
+                ):
+                    if outcome[0] == "error":
+                        cause = outcome[2] if len(outcome) > 2 else None
+                        raise ShardExecutionError(
+                            experiment,
+                            shard_index,
+                            shards[shard_index],
+                            outcome[1],
+                            backend=self.backend.name,
+                            cache_dir=(
+                                os.fspath(self.cache_dir)
+                                if self.cache_dir is not None
+                                else None
+                            ),
+                            # Only shards that actually persist count as
+                            # resumable: cache hits were already on disk,
+                            # stored shards just got there.  Executed but
+                            # non-cacheable shards re-run on retry.
+                            shards_completed=stats.shards_cached
+                            + stats.shards_stored,
+                            shards_total=stats.shards_total,
+                        ) from cause
+                    self._finish_shard(
+                        experiment, shards, keys, cacheable, shard_index,
+                        outcome[1], store, stats,
+                    )
+        finally:
+            store.finalize()
+        return ResultView(store)
 
     def _finish_shard(
         self,
@@ -218,10 +305,10 @@ class ParallelRunner:
         cacheable: List[bool],
         shard_index: int,
         payloads: List[Any],
-        results: List[Any],
+        store: ResultStore,
         stats: RunnerStats,
     ) -> None:
-        self._merge(results, shards[shard_index], payloads)
+        self._merge(store, shards[shard_index], payloads)
         stats.shards_executed += 1
         stats.trials_executed += len(shards[shard_index])
         stats.arrival_order.append(shard_index)
@@ -233,66 +320,15 @@ class ParallelRunner:
                 payloads,
                 self.code_version,
             )
-
-    def _run_sequential(
-        self, experiment, trial_fn, shards, keys, cacheable, pending,
-        results, stats,
-    ) -> None:
-        for shard_index in pending:
-            try:
-                payloads = _execute_shard(trial_fn, shards[shard_index])
-            except Exception as error:
-                raise ShardExecutionError(
-                    experiment, shard_index, shards[shard_index],
-                    traceback.format_exc(),
-                ) from error
-            self._finish_shard(
-                experiment, shards, keys, cacheable, shard_index, payloads,
-                results, stats,
-            )
-
-    def _run_parallel(
-        self, experiment, trial_fn, shards, keys, cacheable, pending,
-        results, stats,
-    ) -> None:
-        context = multiprocessing.get_context(self.mp_context)
-        workers = min(self.n_jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures: Dict[Any, int] = {
-                pool.submit(_shard_worker, (trial_fn, shards[shard_index])):
-                    shard_index
-                for shard_index in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                # Merge in arrival order within each completion batch.
-                for future in sorted(done, key=lambda f: futures[f]):
-                    shard_index = futures[future]
-                    shard = shards[shard_index]
-                    error = future.exception()
-                    if error is not None:  # pool breakage, not a trial error
-                        raise ShardExecutionError(
-                            experiment, shard_index, shard,
-                            f"{type(error).__name__}: {error}",
-                        ) from error
-                    outcome = future.result()
-                    if outcome[0] == "error":
-                        raise ShardExecutionError(
-                            experiment, shard_index, shard, outcome[1]
-                        )
-                    self._finish_shard(
-                        experiment, shards, keys, cacheable, shard_index,
-                        outcome[1], results, stats,
-                    )
+            stats.shards_stored += 1
 
     @staticmethod
     def _merge(
-        results: List[Any], shard: Sequence[TrialSpec], payloads: Sequence[Any]
+        store: ResultStore, shard: Sequence[TrialSpec], payloads: Sequence[Any]
     ) -> None:
         if len(payloads) != len(shard):
             raise ValueError(
                 f"shard returned {len(payloads)} payloads for {len(shard)} trials"
             )
         for spec, payload in zip(shard, payloads):
-            results[spec.index] = payload
+            store.put(spec.index, payload)

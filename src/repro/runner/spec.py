@@ -45,12 +45,19 @@ class TrialSpec:
     positions, and trials whose (seed, params) are unchanged must still
     hit the cache.  Two specs with equal identity describe the same pure
     computation and are interchangeable by construction.
+
+    ``cacheable=False`` marks a trial whose payload is *not* a pure
+    function of its identity — wall-clock timing measurements, probes of
+    live state — so memoizing it would replay stale numbers.  Such
+    trials are executed on every run and their shards never stored; the
+    flag is bookkeeping, not identity, so it stays out of ``identity()``.
     """
 
     experiment: str
     index: int
     seed: Optional[int] = None
     params: Dict[str, Any] = field(default_factory=dict)
+    cacheable: bool = True
 
     def identity(self) -> Dict[str, Any]:
         """The JSON document that defines this trial's cache identity."""

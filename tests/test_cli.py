@@ -150,12 +150,24 @@ class TestExperimentsVerb:
         assert METHOD_CHOICES == registry.available()
         assert set(LOSS_METHOD_CHOICES) == set(METHOD_CHOICES) - {"delay"}
 
-    def test_non_runner_experiment_omits_stats(self, capsys):
-        # timing/duration never call the runner; no bogus stats line
+    def test_timing_routes_through_runner(self, capsys):
+        # timing is one (non-cacheable) trial through the runner now, so
+        # the stats line is real — no last_stats workaround needed.
         assert main(["experiments", "timing", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "[timing finished in" in out
-        assert "trials executed" not in out
+        assert "1 trials executed, 0 recalled from cache" in out
+
+    def test_timing_never_cached(self, tmp_path, capsys):
+        argv = [
+            "experiments", "timing", "--scale", "tiny",
+            "--cache-dir", str(tmp_path),
+        ]
+        for _ in range(2):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            # wall-clock measurements re-execute on every invocation
+            assert "1 trials executed, 0 recalled from cache" in out
 
     def test_runs_and_reports_runner_stats(self, capsys):
         code = main(["experiments", "fig5", "--scale", "tiny", "--jobs", "1"])
@@ -163,6 +175,36 @@ class TestExperimentsVerb:
         out = capsys.readouterr().out
         assert "== fig5 ==" in out
         assert "2 trials executed, 0 recalled from cache" in out
+        assert "backend=serial" in out
+
+    def test_backend_flag_is_payload_identical(self, capsys):
+        base_argv = ["experiments", "fig5", "--scale", "tiny", "--seed", "0"]
+        assert main(base_argv + ["--jobs", "1"]) == 0
+        sequential = capsys.readouterr().out
+        for backend in ("thread", "process"):
+            argv = base_argv + ["--jobs", "2", "--backend", backend]
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert f"backend={backend}" in out
+            # identical rendered tables: backend changes nothing but speed
+            assert out.split("[fig5")[0] == sequential.split("[fig5")[0]
+
+    def test_store_dir_streams_payloads(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        argv = [
+            "experiments", "fig6", "--scale", "tiny",
+            "--store-dir", str(store),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        spills = list(store.glob("fig6-*.jsonl"))
+        assert len(spills) == 1
+        # one JSONL record per trial
+        assert len(spills[0].read_text().splitlines()) == 2
+
+    def test_bad_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiments", "fig5", "--backend", "carrier-pigeon"])
 
     def test_cache_dir_skips_rerun(self, tmp_path, capsys):
         argv = [

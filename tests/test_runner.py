@@ -15,10 +15,17 @@ import pytest
 from repro.experiments import EXPERIMENTS
 from repro.runner import (
     ParallelRunner,
+    ResultView,
+    SerialBackend,
     ShardExecutionError,
     TrialSpec,
+    available_backends,
+    compute_code_version,
+    get_backend,
+    register_backend,
     shard_key,
     shard_specs,
+    unregister_backend,
 )
 from repro.runner.spec import json_roundtrip
 
@@ -41,6 +48,10 @@ def messy_trial(spec: TrialSpec) -> dict:
 
 def index_trial(spec: TrialSpec) -> dict:
     return {"index": spec.index}
+
+
+def interrupting_trial(spec: TrialSpec) -> dict:
+    raise KeyboardInterrupt
 
 
 def make_specs(n: int, experiment: str = "unit") -> list:
@@ -83,6 +94,159 @@ class TestSpecs:
         with pytest.raises(ValueError):
             ParallelRunner(n_jobs=-5)
         assert ParallelRunner(n_jobs=-1).n_jobs >= 1
+
+
+class TestBackends:
+    """The pluggable execution seam: registry + payload identity."""
+
+    def test_registry_lists_builtins(self):
+        assert set(available_backends()) >= {"serial", "process", "thread"}
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            get_backend("carrier-pigeon")
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            ParallelRunner(backend="carrier-pigeon")
+
+    def test_default_backend_tracks_n_jobs(self):
+        assert ParallelRunner(n_jobs=1).backend.name == "serial"
+        assert ParallelRunner(n_jobs=2).backend.name == "process"
+        assert ParallelRunner(n_jobs=2, backend="thread").backend.name == "thread"
+
+    def test_every_backend_matches_serial(self):
+        specs = make_specs(9)
+        expected = ParallelRunner(n_jobs=1).run("unit", square_trial, specs)
+        for backend in ("serial", "process", "thread"):
+            got = ParallelRunner(n_jobs=3, backend=backend).run(
+                "unit", square_trial, specs
+            )
+            assert got == expected
+
+    def test_thread_backend_crash_carries_traceback(self):
+        with pytest.raises(ShardExecutionError, match="probe storm"):
+            ParallelRunner(n_jobs=2, backend="thread").run(
+                "unit", fragile_trial, make_specs(4)
+            )
+
+    def test_serial_backend_chains_original_exception(self):
+        # In-process runs keep the live exception as __cause__ (parity
+        # with the pre-seam sequential path) so callers can classify it.
+        with pytest.raises(ShardExecutionError) as excinfo:
+            ParallelRunner(n_jobs=1).run("unit", fragile_trial, make_specs(4))
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_serial_backend_propagates_keyboard_interrupt(self):
+        # Ctrl-C during an in-process run is the user talking to the
+        # runner, not a trial crash: it must not be swallowed into a
+        # ShardExecutionError.
+        with pytest.raises(KeyboardInterrupt):
+            ParallelRunner(n_jobs=1).run(
+                "unit", interrupting_trial, make_specs(2)
+            )
+
+    def test_register_custom_backend(self):
+        # The "write your own backend" contract from the README: one
+        # class, registered by name, reachable from the runner.
+        class LoggingBackend(SerialBackend):
+            name = "logging"
+            seen: list = []
+
+            def run_shards(self, trial_fn, shards):
+                self.seen.append(len(shards))
+                return super().run_shards(trial_fn, shards)
+
+        register_backend("logging", LoggingBackend)
+        try:
+            specs = make_specs(4)
+            runner = ParallelRunner(backend="logging")
+            got = runner.run("unit", square_trial, specs)
+            assert got == ParallelRunner().run("unit", square_trial, specs)
+            assert runner.backend.name == "logging"
+            assert LoggingBackend.seen == [4]
+        finally:
+            unregister_backend("logging")
+        with pytest.raises(ValueError):
+            get_backend("logging")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("serial", SerialBackend)
+
+    def test_shared_cache_across_backends(self, tmp_path):
+        specs = make_specs(6)
+        ParallelRunner(n_jobs=1, cache_dir=tmp_path).run(
+            "unit", square_trial, specs
+        )
+        for backend in ("process", "thread"):
+            runner = ParallelRunner(n_jobs=2, backend=backend, cache_dir=tmp_path)
+            runner.run("unit", square_trial, specs)
+            assert runner.last_stats.shards_executed == 0
+
+
+class TestResultStore:
+    """Streaming spill-to-disk results and the lazy view."""
+
+    def test_view_behaves_like_a_list(self):
+        specs = make_specs(5)
+        view = ParallelRunner().run("unit", square_trial, specs)
+        assert isinstance(view, ResultView)
+        assert len(view) == 5
+        assert view[0]["value"] == 9
+        assert view[-1]["value"] == 49
+        assert view[1:3] == [view[1], view[2]]
+        assert view.materialize() == list(view)
+        with pytest.raises(IndexError):
+            view[5]
+
+    def test_jsonl_store_matches_memory(self, tmp_path):
+        specs = make_specs(7)
+        in_ram = ParallelRunner(n_jobs=1).run("unit", square_trial, specs)
+        streamed = ParallelRunner(n_jobs=1, store_dir=tmp_path).run(
+            "unit", square_trial, specs
+        )
+        assert streamed == in_ram
+        assert streamed.materialize() == in_ram.materialize()
+        (spill,) = tmp_path.glob("unit-*.jsonl")
+        records = [json.loads(line) for line in spill.read_text().splitlines()]
+        assert sorted(r["index"] for r in records) == list(range(7))
+
+    def test_jsonl_store_under_parallel_backends(self, tmp_path):
+        specs = make_specs(8)
+        expected = ParallelRunner().run("unit", square_trial, specs)
+        for backend in ("process", "thread"):
+            store = tmp_path / backend
+            got = ParallelRunner(
+                n_jobs=3, backend=backend, store_dir=store
+            ).run("unit", square_trial, specs)
+            assert got == expected
+
+    def test_jsonl_store_with_cache_hits(self, tmp_path):
+        specs = make_specs(5)
+        cache = tmp_path / "cache"
+        first = ParallelRunner(cache_dir=cache).run("unit", square_trial, specs)
+        replay = ParallelRunner(cache_dir=cache, store_dir=tmp_path / "store")
+        got = replay.run("unit", square_trial, specs)
+        assert replay.last_stats.trials_cached == 5
+        assert got == first
+
+    def test_close_releases_handles_and_reads_still_work(self, tmp_path):
+        specs = make_specs(3)
+        view = ParallelRunner(store_dir=tmp_path).run(
+            "unit", square_trial, specs
+        )
+        first = view[0]
+        view.close()  # fd released; subsequent reads reopen the file
+        assert view[0] == first
+        assert view.materialize() == ParallelRunner().run(
+            "unit", square_trial, specs
+        )
+        # memory-backed views accept close() as a no-op
+        ParallelRunner().run("unit", square_trial, specs).close()
+
+    def test_empty_run_returns_empty_view(self):
+        view = ParallelRunner().run("unit", square_trial, [])
+        assert len(view) == 0
+        assert view == []
 
 
 class TestDeterminismAcrossJobs:
@@ -191,6 +355,77 @@ class TestShardCache:
         runner.run("unit", square_trial, changed)
         assert runner.last_stats.trials_executed == 3
 
+    def test_truncated_entry_is_a_miss_and_repaired(self, tmp_path):
+        # A torn write (killed run, full disk) leaves a JSON prefix; the
+        # cache must re-execute the shard, not crash or return garbage.
+        specs = make_specs(3)
+        ParallelRunner(cache_dir=tmp_path).run("unit", square_trial, specs)
+        for entry in (tmp_path / "unit").iterdir():
+            text = entry.read_text()
+            entry.write_text(text[: len(text) // 2])
+        runner = ParallelRunner(cache_dir=tmp_path)
+        results = runner.run("unit", square_trial, specs)
+        assert runner.last_stats.trials_executed == 3
+        assert [r["value"] for r in results] == [9, 16, 25]
+        again = ParallelRunner(cache_dir=tmp_path)
+        again.run("unit", square_trial, specs)
+        assert again.last_stats.trials_executed == 0
+
+    def test_empty_entry_is_a_miss(self, tmp_path):
+        specs = make_specs(2)
+        ParallelRunner(cache_dir=tmp_path).run("unit", square_trial, specs)
+        for entry in (tmp_path / "unit").iterdir():
+            entry.write_text("")
+        runner = ParallelRunner(cache_dir=tmp_path)
+        runner.run("unit", square_trial, specs)
+        assert runner.last_stats.trials_executed == 2
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        # Valid JSON that is not a shard document (or disagrees with the
+        # shard's trial identities) must be ignored, never trusted.
+        specs = make_specs(2)
+        ParallelRunner(cache_dir=tmp_path).run("unit", square_trial, specs)
+        entries = sorted((tmp_path / "unit").iterdir())
+        entries[0].write_text(json.dumps({"format": "alien/9", "payloads": [1]}))
+        document = json.loads(entries[1].read_text())
+        document["trials"][0]["seed"] = 10_000
+        entries[1].write_text(json.dumps(document))
+        runner = ParallelRunner(cache_dir=tmp_path)
+        results = runner.run("unit", square_trial, specs)
+        assert runner.last_stats.trials_executed == 2
+        assert [r["value"] for r in results] == [9, 16]
+
+    def test_code_version_hash_tracks_source_content(self, tmp_path):
+        # The invalidation key is a content hash: editing any source
+        # must change it, touching nothing must not.
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        (tree / "mod.py").write_text("A = 1\n")
+        first = compute_code_version(root=tree)
+        assert first == compute_code_version(root=tree)
+        (tree / "mod.py").write_text("A = 2\n")
+        assert compute_code_version(root=tree) != first
+        (tree / "extra.py").write_text("")
+        assert compute_code_version(root=tree) not in (first,)
+
+    def test_non_cacheable_trials_never_stored(self, tmp_path):
+        specs = [
+            TrialSpec("unit", i, seed=i + 3, cacheable=False) for i in range(3)
+        ]
+        for _ in range(2):
+            runner = ParallelRunner(cache_dir=tmp_path)
+            runner.run("unit", square_trial, specs)
+            assert runner.last_stats.trials_executed == 3
+            assert runner.last_stats.trials_cached == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_cacheable_flag_is_not_identity(self, tmp_path):
+        # cacheable is bookkeeping: flipping it must not re-key the cache.
+        a = TrialSpec("unit", 0, seed=1, cacheable=True)
+        b = TrialSpec("unit", 0, seed=1, cacheable=False)
+        assert a.identity() == b.identity()
+        assert a.key() == b.key()
+
     def test_corrupt_entry_is_a_miss_and_repaired(self, tmp_path):
         specs = make_specs(2)
         ParallelRunner(cache_dir=tmp_path).run("unit", square_trial, specs)
@@ -235,6 +470,54 @@ class TestWorkerFailure:
             retry.run("unit", fragile_trial, make_specs(4))
         assert retry.last_stats.trials_cached == 2
 
+    def test_error_names_backend_and_cache_state(self, tmp_path):
+        runner = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        with pytest.raises(ShardExecutionError) as excinfo:
+            runner.run("unit", fragile_trial, make_specs(4))
+        error = excinfo.value
+        assert error.backend == "serial"
+        assert error.cache_dir == str(tmp_path)
+        assert error.shards_total == 4
+        assert error.shards_completed == 2  # shards 0 and 1 ran and stored
+        assert "re-invoke the same command" in str(error)
+        assert str(tmp_path) in str(error)
+
+    def test_error_counts_only_persisted_shards(self, tmp_path):
+        # Executed-but-never-stored shards (seed=None / cacheable=False)
+        # must not be reported as resumable.
+        specs = [
+            TrialSpec("unit", 0, seed=3, cacheable=False),
+            TrialSpec("unit", 1, seed=4, cacheable=False),
+            TrialSpec("unit", 2, seed=5),
+            TrialSpec("unit", 3, seed=6),
+        ]
+        runner = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        with pytest.raises(ShardExecutionError) as excinfo:
+            runner.run("unit", fragile_trial, specs)
+        # shards 0/1 executed but were not cacheable; nothing persisted
+        assert excinfo.value.shards_completed == 0
+
+    def test_error_without_cache_warns_about_rerun(self):
+        with pytest.raises(ShardExecutionError) as excinfo:
+            ParallelRunner(n_jobs=2).run("unit", fragile_trial, make_specs(4))
+        error = excinfo.value
+        assert error.backend == "process"
+        assert error.cache_dir is None
+        assert "no shard cache configured" in str(error)
+
+    def test_crashed_run_is_resumable_by_reinvocation(self, tmp_path):
+        # The resume contract the error message promises: after the
+        # crash, the same command (same cache) skips every shard that
+        # completed and only executes the remainder.
+        crashed = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        with pytest.raises(ShardExecutionError):
+            crashed.run("unit", fragile_trial, make_specs(4))
+        resumed = ParallelRunner(n_jobs=1, cache_dir=tmp_path)
+        results = resumed.run("unit", index_trial, make_specs(4))
+        assert resumed.last_stats.trials_cached == 2
+        assert resumed.last_stats.trials_executed == 2
+        assert [r["ok"] for r in results[:2]] == [0, 1]
+
 
 class TestExperimentAcceptance:
     """The ISSUE's acceptance bar, pinned on the real fig5 campaign."""
@@ -265,6 +548,20 @@ class TestExperimentAcceptance:
 
     def test_fig5_parallel_matches_sequential(self):
         assert self.fig5_data(ParallelRunner(n_jobs=2)) == self.fig5_data(None)
+
+    def test_fig5_backends_payload_identical(self):
+        # The ISSUE's acceptance bar: thread and process backends are
+        # byte-identical to the sequential run.
+        sequential = self.fig5_data(ParallelRunner(n_jobs=1))
+        for backend in ("thread", "process"):
+            got = self.fig5_data(ParallelRunner(n_jobs=2, backend=backend))
+            assert got == sequential
+
+    def test_fig5_streamed_store_payload_identical(self, tmp_path):
+        sequential = self.fig5_data(ParallelRunner(n_jobs=1))
+        streamed = ParallelRunner(n_jobs=1, store_dir=tmp_path)
+        assert self.fig5_data(streamed) == sequential
+        assert list(tmp_path.glob("fig5-*.jsonl"))
 
     def test_table2_parallel_matches_sequential(self):
         seq = EXPERIMENTS["table2"](scale="tiny", seed=0)

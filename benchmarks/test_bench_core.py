@@ -23,7 +23,7 @@ def test_build_intersecting_pairs(benchmark, bench_tree):
     assert pairs.num_links == prepared.routing.num_links
 
 
-@pytest.mark.parametrize("method", ["wls", "lsmr", "normal"])
+@pytest.mark.parametrize("method", ["wls", "lsmr", "normal", "sparse", "cg"])
 def test_variance_learning(benchmark, bench_tree, method):
     prepared, _, campaign = bench_tree
     training, _ = campaign.split_training_target()

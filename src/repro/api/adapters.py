@@ -151,13 +151,19 @@ class DelayEstimator(_EstimatorBase):
     kind = "delay"
     uses_training = True
 
-    def __init__(self, variance_cutoff_ms2: float = 1.0) -> None:
+    def __init__(
+        self, variance_cutoff_ms2: float = 1.0, variance_method: str = "wls"
+    ) -> None:
         self.variance_cutoff_ms2 = variance_cutoff_ms2
+        self.variance_method = variance_method
         self._algorithm = None
         self._estimate = None
 
     def _spec_params(self) -> dict:
-        return {"variance_cutoff_ms2": self.variance_cutoff_ms2}
+        return {
+            "variance_cutoff_ms2": self.variance_cutoff_ms2,
+            "variance_method": self.variance_method,
+        }
 
     @property
     def algorithm(self):
@@ -169,7 +175,9 @@ class DelayEstimator(_EstimatorBase):
 
         if self._algorithm is None or self._algorithm.routing is not campaign.routing:
             self._algorithm = DelayInferenceAlgorithm(
-                campaign.routing, variance_cutoff_ms2=self.variance_cutoff_ms2
+                campaign.routing,
+                variance_cutoff_ms2=self.variance_cutoff_ms2,
+                variance_method=self.variance_method,
             )
         self._estimate = self._algorithm.learn_variances(campaign)
         return self

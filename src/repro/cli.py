@@ -12,7 +12,8 @@ Five verbs covering the operational loop without writing Python:
 ``infer``
     run one estimator (``--method lia|scfs|clink|tomo``, dispatched
     through the ``repro.api`` registry) on a campaign document and print
-    the congested links it reports;
+    the congested links it reports; ``--variance-solver`` picks LIA's
+    phase-1 solver (``sparse``/``cg`` for 10k-link meshes);
 ``compare``
     run several estimators over one campaign document and print a
     side-by-side table of their verdicts per link;
@@ -28,6 +29,7 @@ Examples::
         --out campaign.json
     python -m repro infer campaign.json --threshold 0.002
     python -m repro infer campaign.json --method scfs
+    python -m repro infer campaign.json --variance-solver sparse
     python -m repro compare campaign.json --methods lia,scfs,tomo
     python -m repro experiments fig5 --scale small --jobs -1 \
         --cache-dir .repro-cache
@@ -66,6 +68,11 @@ METHOD_CHOICES = ("clink", "delay", "lia", "scfs", "tomo")
 #: The methods a *loss* campaign document can drive (``delay`` consumes
 #: delay campaigns, which have no document format yet).
 LOSS_METHOD_CHOICES = ("clink", "lia", "scfs", "tomo")
+#: Static mirror of repro.core.variance.VARIANCE_METHODS (same
+#: no-heavy-imports rule as the registries above; pinned in sync by
+#: tests).  ``--variance-solver`` picks LIA's phase-1 solver; the
+#: ``sparse``/``cg`` entries keep 10k-link meshes out of dense algebra.
+VARIANCE_SOLVER_CHOICES = ("wls", "lsmr", "normal", "qr", "nnls", "sparse", "cg")
 
 
 def _build_topology(kind: str, size: int, hosts: int, seed: Optional[int]):
@@ -164,18 +171,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_estimator(method: str, threshold: float):
+def _build_estimator(method: str, threshold: float, variance_solver: str = "wls"):
     """Registry dispatch with the CLI threshold routed to the right knob."""
     from repro.api import registry
 
     if method == "lia":
-        return registry.get("lia", congestion_threshold=threshold)
+        return registry.get(
+            "lia",
+            congestion_threshold=threshold,
+            variance_method=variance_solver,
+        )
     return registry.get(method, link_threshold=threshold)
 
 
-def _fit_predict(document, training, target, method: str, threshold: float):
+def _fit_predict(
+    document, training, target, method: str, threshold: float,
+    variance_solver: str = "wls",
+):
     """Fit *method* on the training window, predict the target snapshot."""
-    estimator = _build_estimator(method, threshold)
+    estimator = _build_estimator(method, threshold, variance_solver)
     estimator.fit(training, paths=document.paths)
     return estimator.predict(target)
 
@@ -204,7 +218,10 @@ def cmd_infer(args: argparse.Namespace) -> int:
     campaign = document.campaign()
     routing = campaign.routing
     training, target = campaign.split_training_target()
-    result = _fit_predict(document, training, target, args.method, args.threshold)
+    result = _fit_predict(
+        document, training, target, args.method, args.threshold,
+        args.variance_solver,
+    )
     num_training = len(training)
     if result.congested_columns is not None:
         congested = np.asarray(sorted(result.congested_columns), dtype=np.int64)
@@ -264,7 +281,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
     results = {}
     flagged = {}
     for method in methods:
-        result = _fit_predict(document, training, target, method, args.threshold)
+        result = _fit_predict(
+            document, training, target, method, args.threshold,
+            args.variance_solver,
+        )
         results[method] = result
         if result.congested_columns is not None:
             flagged[method] = set(result.congested_columns)
@@ -374,6 +394,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--threshold", type=float, default=0.002)
     compare.add_argument("--top", type=int, default=30, help="rows to print")
     compare.set_defaults(func=cmd_compare)
+
+    for p in (infer, compare):
+        p.add_argument(
+            "--variance-solver",
+            choices=VARIANCE_SOLVER_CHOICES,
+            default="wls",
+            help=(
+                "LIA phase-1 solver (repro.core.variance.VARIANCE_METHODS); "
+                "'sparse'/'cg' keep 10k-link systems out of dense algebra"
+            ),
+        )
 
     from repro.runner.args import add_runner_arguments
 

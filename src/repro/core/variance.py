@@ -6,7 +6,7 @@ column rank, so the least-squares solution is unique; the estimator is a
 special case of the generalised method of moments (consistent, no
 distributional assumption, no iterative MLE).
 
-Five interchangeable solvers:
+Seven interchangeable solvers:
 
 ``"wls"`` (default)
     feasible generalised least squares: each covariance equation is
@@ -29,9 +29,24 @@ Five interchangeable solvers:
     non-negative least squares — variances are non-negative by
     definition, so projecting onto the feasible set is a natural
     extension (ablated in the benchmarks).
+``"sparse"``
+    exact normal equations with the Gram matrix kept sparse and
+    factorized via SuperLU (:mod:`repro.core.sparse_solvers`) — the
+    scalable analogue of ``"normal"`` for 10k-link meshes.
+``"cg"``
+    Jacobi-preconditioned conjugate gradients on the normal equations,
+    matrix-free — for systems where even the sparse Gram factor is too
+    large.
+
+``"wls"`` and ``"normal"`` route onto the sparse factorization
+automatically once the system is wider than
+:data:`repro.core.sparse_solvers.SPARSE_AUTO_THRESHOLD` columns; below
+it the historical dense path runs unchanged.
 
 Equations with negative sample covariance are dropped first, as in the
-paper.
+paper.  The filtering, WLS row scaling, underdetermined-system guard and
+residual bookkeeping live in :func:`solve_covariance_system`, which the
+delay layer shares so the two phase-1 implementations cannot drift.
 """
 
 from __future__ import annotations
@@ -43,6 +58,7 @@ import numpy as np
 from scipy import optimize, sparse
 from scipy.sparse import linalg as sparse_linalg
 
+from repro.core import sparse_solvers
 from repro.core.augmented import IntersectingPairs, intersecting_pairs
 from repro.core.covariance import (
     CovarianceSummary,
@@ -52,17 +68,25 @@ from repro.core.covariance import (
 from repro.core.linalg import solve_least_squares_qr
 from repro.probing.snapshot import MeasurementCampaign
 
-VARIANCE_METHODS = ("wls", "lsmr", "normal", "qr", "nnls")
+VARIANCE_METHODS = ("wls", "lsmr", "normal", "qr", "nnls", "sparse", "cg")
 
 
 @dataclass(frozen=True)
 class VarianceEstimate:
-    """Estimated link variances plus estimation diagnostics."""
+    """Estimated link variances plus estimation diagnostics.
+
+    ``residual_norm`` is always the residual of the *unweighted* system
+    ``||A v - sigma||`` over the equations that survived filtering, so it
+    is comparable across every solver; for ``"wls"`` the residual of the
+    row-scaled system the solver actually minimised is exposed separately
+    as ``weighted_residual_norm`` (``None`` for unweighted methods).
+    """
 
     variances: np.ndarray
     method: str
     covariance_summary: CovarianceSummary
     residual_norm: float
+    weighted_residual_norm: Optional[float] = None
 
     @property
     def num_links(self) -> int:
@@ -71,6 +95,16 @@ class VarianceEstimate:
     def order_by_variance(self) -> np.ndarray:
         """Column indices sorted by increasing variance (phase-2 input)."""
         return np.argsort(self.variances, kind="stable")
+
+
+@dataclass(frozen=True)
+class Phase1Solution:
+    """The solved system plus residual diagnostics (shared back end)."""
+
+    variances: np.ndarray
+    residual_norm: float
+    weighted_residual_norm: Optional[float]
+    num_equations: int
 
 
 def estimate_link_variances(
@@ -108,56 +142,93 @@ def estimate_link_variances(
     log_matrix = campaign.log_matrix(floor)
     sigma = sample_covariance_pairs(log_matrix, pairs.pair_i, pairs.pair_j)
 
-    negative = negative_pair_mask(sigma)
     summary = CovarianceSummary(
         num_snapshots=len(campaign),
         num_pairs=pairs.num_pairs,
-        num_negative=int(negative.sum()),
+        num_negative=int(negative_pair_mask(sigma).sum()),
     )
     weights = None
     if method == "wls":
         weights = _equation_weights(log_matrix, pairs, sigma)
-    if drop_negative and negative.any():
-        keep = ~negative
-        A = pairs.matrix[keep]
-        b = sigma[keep]
-        if weights is not None:
-            weights = weights[keep]
-    else:
-        A = pairs.matrix
-        b = sigma
-    if weights is not None:
-        A = sparse.diags(weights) @ A
-        b = weights * b
-
-    if A.shape[0] < A.shape[1]:
-        raise ValueError(
-            f"after filtering, {A.shape[0]} equations remain for "
-            f"{A.shape[1]} unknowns; take more snapshots or keep negatives"
-        )
-
-    v = _solve(A, b, method)
-    residual = float(np.linalg.norm(A @ v - b))
+    solution = solve_covariance_system(
+        pairs.matrix, sigma, method=method, weights=weights,
+        drop_negative=drop_negative,
+    )
     return VarianceEstimate(
-        variances=v,
+        variances=solution.variances,
         method=method,
         covariance_summary=summary,
+        residual_norm=solution.residual_norm,
+        weighted_residual_norm=solution.weighted_residual_norm,
+    )
+
+
+def solve_covariance_system(
+    matrix: sparse.csr_matrix,
+    sigma: np.ndarray,
+    method: str = "wls",
+    weights: Optional[np.ndarray] = None,
+    drop_negative: bool = True,
+) -> Phase1Solution:
+    """Shared phase-1 back end: filter, weight, solve, residuals.
+
+    Both the loss layer (log-rate covariances) and the delay layer
+    (delay covariances) reduce to the same overdetermined system
+    ``sigma = A v``; this helper owns the negative-equation filter, the
+    WLS row scaling, the underdetermined-system guard and the residual
+    bookkeeping so the two cannot drift apart.  *matrix* is the sparse
+    augmented matrix (``IntersectingPairs.matrix``) and *weights*, when
+    given, scales each equation before the solve (already filtered
+    equations drop their weights too).
+    """
+    if method not in VARIANCE_METHODS:
+        raise ValueError(f"unknown method {method!r}, want one of {VARIANCE_METHODS}")
+    keep = None
+    if drop_negative:
+        negative = negative_pair_mask(sigma)
+        if negative.any():
+            keep = ~negative
+    plain = matrix if keep is None else matrix[keep]
+    target = sigma if keep is None else sigma[keep]
+    if plain.shape[0] < plain.shape[1]:
+        raise ValueError(
+            f"after filtering, {plain.shape[0]} equations remain for "
+            f"{plain.shape[1]} unknowns; take more snapshots or keep negatives"
+        )
+    if weights is not None:
+        kept_weights = weights if keep is None else weights[keep]
+        A = sparse.diags(kept_weights) @ plain
+        b = kept_weights * target
+    else:
+        A, b = plain, target
+
+    v = _solve(A, b, method)
+    residual = float(np.linalg.norm(plain @ v - target))
+    weighted_residual = (
+        float(np.linalg.norm(A @ v - b)) if weights is not None else None
+    )
+    return Phase1Solution(
+        variances=v,
         residual_norm=residual,
+        weighted_residual_norm=weighted_residual,
+        num_equations=int(plain.shape[0]),
     )
 
 
 def _equation_weights(
-    log_matrix: np.ndarray, pairs: IntersectingPairs, sigma: np.ndarray
+    measurements: np.ndarray, pairs: IntersectingPairs, sigma: np.ndarray
 ) -> np.ndarray:
     """Square-root inverse sampling variance of each covariance equation.
 
     ``var(Sigma_hat_ij) ~= (Sigma_ii Sigma_jj + Sigma_ij^2) / (m - 1)``;
-    the per-path variances are taken from the sample.  Floored so that
-    perfectly quiet path pairs (zero sample variance) cannot produce
-    infinite weights.
+    the per-path variances are taken from the sample (*measurements* is
+    the ``(m, n_p)`` matrix the covariances were computed from — log
+    rates for the loss layer, raw delays for the delay layer).  Floored
+    so that perfectly quiet path pairs (zero sample variance) cannot
+    produce infinite weights.
     """
-    m = log_matrix.shape[0]
-    path_var = log_matrix.var(axis=0, ddof=1)
+    m = measurements.shape[0]
+    path_var = measurements.var(axis=0, ddof=1)
     eq_var = (
         path_var[pairs.pair_i] * path_var[pairs.pair_j] + sigma**2
     ) / max(m - 1, 1)
@@ -175,6 +246,11 @@ def _solve(A: sparse.csr_matrix, b: np.ndarray, method: str) -> np.ndarray:
         )
         return np.asarray(result[0], dtype=np.float64)
     if method in ("normal", "wls"):
+        if sparse_solvers.use_sparse_normal(A.shape[1]):
+            # Above the crossover a dense Gram matrix is the memory
+            # bottleneck; the sparse factorization solves the identically
+            # regularized system.
+            return sparse_solvers.solve_normal_sparse(A, b)
         # Exact normal equations.  n_c x n_c stays dense-friendly into the
         # thousands, and unlike iterative solvers the answer does not
         # degrade with the conditioning the WLS weights introduce.
@@ -184,6 +260,10 @@ def _solve(A: sparse.csr_matrix, b: np.ndarray, method: str) -> np.ndarray:
         # Theorem 1 makes AtA nonsingular in exact arithmetic.
         ridge = 1e-10 * np.trace(AtA) / max(AtA.shape[0], 1)
         return np.linalg.solve(AtA + ridge * np.eye(AtA.shape[0]), Atb)
+    if method == "sparse":
+        return sparse_solvers.solve_normal_sparse(A, b)
+    if method == "cg":
+        return sparse_solvers.solve_normal_cg(A, b)
     if method == "qr":
         return solve_least_squares_qr(A.toarray(), b)
     if method == "nnls":

@@ -22,9 +22,13 @@ import numpy as np
 from repro.core.augmented import IntersectingPairs, intersecting_pairs
 from repro.core.covariance import sample_covariance_pairs
 from repro.core.engine import FactorizationCache, ReductionCache
+from repro.core.variance import (
+    VARIANCE_METHODS,
+    _equation_weights,
+    solve_covariance_system,
+)
 from repro.delay.prober import DelayCampaign, DelaySnapshot
 from repro.topology.routing import RoutingMatrix
-from scipy import sparse
 
 
 @dataclass(frozen=True)
@@ -65,17 +69,30 @@ class DelayInferenceAlgorithm:
         Links below it are treated as queueing-free; the default of 1.0
         sits far above jitter-induced estimation noise for S >= 100 yet
         two orders below the mildest Gamma queue of the default model.
+    variance_method:
+        Phase-1 solver, see :data:`repro.core.variance.VARIANCE_METHODS`
+        — the delay layer solves the same ``Sigma_hat* = A v`` system
+        through the same back end as the loss layer, so the sparse
+        solvers (``"sparse"``, ``"cg"``) and the automatic dense→sparse
+        crossover apply here too.
     """
 
     def __init__(
         self,
         routing: RoutingMatrix,
         variance_cutoff_ms2: float = 1.0,
+        variance_method: str = "wls",
     ) -> None:
         if variance_cutoff_ms2 <= 0:
             raise ValueError("variance_cutoff_ms2 must be positive")
+        if variance_method not in VARIANCE_METHODS:
+            raise ValueError(
+                f"unknown variance method {variance_method!r}, "
+                f"want one of {VARIANCE_METHODS}"
+            )
         self.routing = routing
         self.variance_cutoff_ms2 = variance_cutoff_ms2
+        self.variance_method = variance_method
         self._pairs: Optional[IntersectingPairs] = None
         self._routing_sparse = routing.to_sparse()
         self._factorizations = FactorizationCache(self._routing_sparse)
@@ -90,25 +107,32 @@ class DelayInferenceAlgorithm:
     # -- phase 1 -----------------------------------------------------------
 
     def learn_variances(self, training: DelayCampaign) -> DelayVarianceEstimate:
-        """Weighted least squares on ``Sigma_hat* = A v`` for delay variances."""
+        """Solve ``Sigma_hat* = A v`` for delay variances (shared back end).
+
+        Delegates to the loss layer's
+        :func:`repro.core.variance.solve_covariance_system` — the same
+        negative-equation filter, WLS weighting
+        (:func:`~repro.core.variance._equation_weights`, which this
+        module used to carry as a drifted copy), underdetermined-system
+        guard and solver dispatch — with raw delays in place of log
+        rates.  A campaign whose surviving equations cannot determine
+        ``v`` (e.g. every cross-path covariance negative) raises the
+        same clear ``ValueError`` the loss layer does instead of
+        crashing inside a degenerate dense solve.
+        """
         if len(training) < 2:
             raise ValueError("need at least two training snapshots")
         Y = training.delay_matrix()
         pairs = self.pairs
         sigma = sample_covariance_pairs(Y, pairs.pair_i, pairs.pair_j)
-        path_var = Y.var(axis=0, ddof=1)
-        eq_var = (
-            path_var[pairs.pair_i] * path_var[pairs.pair_j] + sigma**2
-        ) / max(Y.shape[0] - 1, 1)
-        weights = 1.0 / np.sqrt(np.maximum(eq_var, max(eq_var.max(), 1e-12) * 1e-9))
-        keep = sigma >= 0
-        A = sparse.diags(weights[keep]) @ pairs.matrix[keep]
-        b = weights[keep] * sigma[keep]
-        AtA = (A.T @ A).toarray()
-        ridge = 1e-10 * np.trace(AtA) / max(AtA.shape[0], 1)
-        v = np.linalg.solve(AtA + ridge * np.eye(AtA.shape[0]), A.T @ b)
+        weights = None
+        if self.variance_method == "wls":
+            weights = _equation_weights(Y, pairs, sigma)
+        solution = solve_covariance_system(
+            pairs.matrix, sigma, method=self.variance_method, weights=weights
+        )
         return DelayVarianceEstimate(
-            variances=v,
+            variances=solution.variances,
             num_snapshots=len(training),
             path_means=Y.mean(axis=0),
         )

@@ -41,6 +41,27 @@ class TestSimulateInfer:
         out = capsys.readouterr().out
         assert "trained on 11 snapshots" in out
 
+    def test_variance_solver_flag(self, tmp_path, capsys):
+        """--variance-solver threads through the registry into LIA."""
+        doc = tmp_path / "campaign.json"
+        main(
+            [
+                "simulate", "--topology", "tree", "--size", "80",
+                "--snapshots", "12", "--probes", "300", "--seed", "3",
+                "--out", str(doc),
+            ]
+        )
+        capsys.readouterr()
+        for solver in ("sparse", "cg"):
+            code = main(["infer", str(doc), "--variance-solver", solver])
+            assert code == 0
+            assert "trained on 11 snapshots" in capsys.readouterr().out
+        code = main(
+            ["compare", str(doc), "--methods", "lia", "--variance-solver",
+             "sparse"]
+        )
+        assert code == 0
+
     def test_infer_finds_congested(self, tmp_path, capsys):
         doc = tmp_path / "campaign.json"
         main(
@@ -142,13 +163,16 @@ class TestExperimentsVerb:
             LOSS_METHOD_CHOICES,
             METHOD_CHOICES,
             SCALE_CHOICES,
+            VARIANCE_SOLVER_CHOICES,
         )
+        from repro.core.variance import VARIANCE_METHODS
         from repro.experiments import EXPERIMENTS, SCALES
 
         assert sorted(EXPERIMENT_CHOICES) == sorted(EXPERIMENTS)
         assert SCALE_CHOICES == SCALES
         assert METHOD_CHOICES == registry.available()
         assert set(LOSS_METHOD_CHOICES) == set(METHOD_CHOICES) - {"delay"}
+        assert VARIANCE_SOLVER_CHOICES == VARIANCE_METHODS
 
     def test_timing_routes_through_runner(self, capsys):
         # timing is one (non-cacheable) trial through the runner now, so

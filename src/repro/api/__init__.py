@@ -10,7 +10,10 @@ One composable seam over every inference backend:
   external backends;
 * :class:`Scenario` — a declarative topology → prober → estimator(s) →
   metrics pipeline returning a :class:`ScenarioResult` with
-  per-estimator accuracy reports.
+  per-estimator accuracy reports;
+* :class:`DistributedEstimator` — fans any estimator's
+  ``predict_batch`` across a :class:`~repro.runner.ParallelRunner`
+  backend (including ``remote``), one kept-column group per shard.
 
 Quickstart::
 
@@ -35,6 +38,7 @@ from repro.api.adapters import (
     SCFSEstimator,
     TomoEstimator,
 )
+from repro.api.distributed import DistributedEstimator, distributed
 from repro.api.estimator import (
     Estimator,
     EstimatorSpec,
@@ -47,6 +51,7 @@ from repro.api.scenario import EstimatorEvaluation, Scenario, ScenarioResult
 __all__ = [
     "CLINKEstimator",
     "DelayEstimator",
+    "DistributedEstimator",
     "Estimator",
     "EstimatorEvaluation",
     "EstimatorSpec",
@@ -58,6 +63,7 @@ __all__ = [
     "ScenarioResult",
     "TomoEstimator",
     "available",
+    "distributed",
     "from_spec",
     "get",
     "register",

@@ -5,9 +5,11 @@ loss-model x parameter) trials; this package schedules them.  See
 :class:`ParallelRunner` for the execution/caching contract,
 :class:`~repro.runner.spec.TrialSpec` for the unit of work,
 :mod:`repro.runner.backends` for the pluggable execution seam
-(serial/process/thread + registry) and :mod:`repro.runner.store` for
-the streaming result store that keeps larger-than-memory campaigns on
-disk.
+(serial/process/thread/remote + registry), :mod:`repro.runner.remote`
+for the TCP work-stealing scheduler behind the ``remote`` backend
+(imported lazily — building it is the only thing that touches sockets)
+and :mod:`repro.runner.store` for the streaming result store that
+keeps larger-than-memory campaigns on disk.
 """
 
 from repro.runner.backends import (

@@ -43,6 +43,19 @@ def _dir_path(value: str) -> str:
     return value
 
 
+def _workers_spec(value: str) -> str:
+    if not value.strip():
+        raise argparse.ArgumentTypeError("must name at least one worker")
+    return value
+
+
+def _positive(value: str) -> int:
+    count = int(value)
+    if count <= 0:
+        raise argparse.ArgumentTypeError("must be a positive count")
+    return count
+
+
 @dataclass(frozen=True)
 class RunnerArgs:
     """The runner configuration one command line (or service) carries.
@@ -50,7 +63,11 @@ class RunnerArgs:
     ``backend=None`` defers to the runner's default: ``serial`` for
     ``jobs=1``, ``process`` otherwise.  ``store_dir=None`` keeps
     payloads in RAM; a directory streams them to a JSONL spill file as
-    workers finish (larger-than-memory campaigns).
+    workers finish (larger-than-memory campaigns).  ``workers``/
+    ``remote_workers``/``bind`` configure the ``remote`` backend only:
+    an expected externally-started fleet (count or comma-separated
+    names), an auto-spawned localhost fleet, and the coordinator's
+    listen address.
     """
 
     jobs: int = 1
@@ -58,6 +75,9 @@ class RunnerArgs:
     cache_dir: Optional[str] = None
     shard_size: int = 1
     store_dir: Optional[str] = None
+    workers: Optional[str] = None
+    remote_workers: Optional[int] = None
+    bind: Optional[str] = None
 
     @classmethod
     def from_namespace(cls, args: argparse.Namespace) -> "RunnerArgs":
@@ -67,7 +87,25 @@ class RunnerArgs:
             cache_dir=args.cache_dir,
             shard_size=args.shard_size,
             store_dir=args.store_dir,
+            workers=getattr(args, "workers", None),
+            remote_workers=getattr(args, "remote_workers", None),
+            bind=getattr(args, "bind", None),
         )
+
+    def backend_options(self) -> dict:
+        """The remote-backend factory options these flags imply."""
+        options: dict = {}
+        if self.workers is not None:
+            options["workers"] = self.workers
+        if self.remote_workers is not None:
+            options["spawn_workers"] = self.remote_workers
+        if self.bind is not None:
+            options["bind"] = self.bind
+        if options and self.backend != "remote":
+            raise ValueError(
+                "--workers/--remote-workers/--bind require --backend remote"
+            )
+        return options
 
     def build(self) -> ParallelRunner:
         return ParallelRunner(
@@ -76,6 +114,7 @@ class RunnerArgs:
             cache_dir=self.cache_dir,
             shard_size=self.shard_size,
             store_dir=self.store_dir,
+            backend_options=self.backend_options() or None,
         )
 
 
@@ -115,6 +154,34 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "stream shard payloads to a JSONL file under this directory as "
             "workers finish instead of holding them in RAM (default: in-RAM)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=_workers_spec,
+        default=None,
+        help=(
+            "[remote backend] expected externally-started `repro worker` "
+            "fleet: a count or comma-separated worker names; the run waits "
+            "for that many handshakes before dispatching"
+        ),
+    )
+    parser.add_argument(
+        "--remote-workers",
+        type=_positive,
+        default=None,
+        help=(
+            "[remote backend] auto-spawn this many `repro worker` "
+            "subprocesses on localhost (turnkey single-machine mode)"
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        default=None,
+        help=(
+            "[remote backend] coordinator listen address host:port "
+            "(default: 127.0.0.1:0 when auto-spawning, 0.0.0.0:7787 when "
+            "waiting for an external fleet)"
         ),
     )
 

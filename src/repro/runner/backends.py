@@ -14,7 +14,7 @@ yielded in *any* order (the runner merges by ``spec.index``), and must
 be yielded **as shards finish** so the runner can stream payloads to its
 result store and memoize completed shards before later ones run.
 
-Three backends ship in-tree, selected through a string-keyed registry
+Four backends ship in-tree, selected through a string-keyed registry
 mirroring ``repro.api.registry``:
 
 ``serial``
@@ -28,6 +28,12 @@ mirroring ``repro.api.registry``:
     when trials spend their time in NumPy/SciPy/BLAS kernels that
     release the GIL: threads share the process (no pickling, shared
     read-only caches) at near-process parallelism.
+``remote``
+    A TCP work-stealing coordinator (:mod:`repro.runner.remote`):
+    ``repro worker <host:port>`` processes — on this machine or any
+    other — pull shards over length-prefixed JSON frames and stream
+    results back.  Killed workers' in-flight shards are re-queued, and
+    a code-version handshake refuses workers running different sources.
 
 Writing a remote backend (SSH, cluster scheduler, job queue) means
 implementing exactly one class: accept ``(n_jobs, mp_context)`` keyword
@@ -90,6 +96,21 @@ def shard_worker(args: "Tuple[TrialFunction, List[TrialSpec]]") -> ShardOutcome:
         return ("error", traceback.format_exc())
 
 
+def shard_worker_inprocess(
+    args: "Tuple[TrialFunction, List[TrialSpec]]",
+) -> ShardOutcome:
+    """Thread-pool entry point: the exception never leaves the process,
+    so the live object rides along with its traceback text and the
+    runner can chain it as ``ShardExecutionError.__cause__`` — the same
+    contract the serial backend honours.  (The process-pool worker above
+    cannot: arbitrary exceptions are not guaranteed picklable.)"""
+    trial_fn, shard = args
+    try:
+        return ("ok", execute_shard(trial_fn, shard))
+    except BaseException as error:
+        return ("error", traceback.format_exc(), error)
+
+
 class ExecutionBackend(ABC):
     """Where shards run.  Subclass + :func:`register_backend` to extend."""
 
@@ -133,6 +154,9 @@ class SerialBackend(ExecutionBackend):
 class _PoolBackend(ExecutionBackend):
     """Shared submit/drain loop of the executor-pool backends."""
 
+    #: Pool entry point; in-process pools use the exception-attaching one.
+    worker = staticmethod(shard_worker)
+
     def __init__(self, n_jobs: int = 1, mp_context: Optional[str] = None) -> None:
         self.n_jobs = max(1, n_jobs)
         self.mp_context = mp_context
@@ -146,7 +170,7 @@ class _PoolBackend(ExecutionBackend):
         workers = min(self.n_jobs, len(shards))
         with self._make_executor(workers) as pool:
             futures: Dict[Any, int] = {
-                pool.submit(shard_worker, (trial_fn, shard)): shard_index
+                pool.submit(self.worker, (trial_fn, shard)): shard_index
                 for shard_index, shard in shards
             }
             outstanding = set(futures)
@@ -188,9 +212,20 @@ class ThreadBackend(_PoolBackend):
     """``ThreadPoolExecutor`` workers for GIL-releasing (BLAS-bound) trials."""
 
     name = "thread"
+    # Threads share the process: keep the live exception so the runner
+    # can chain it, instead of flattening it to text like `process` must.
+    worker = staticmethod(shard_worker_inprocess)
 
     def _make_executor(self, max_workers: int) -> Executor:
         return ThreadPoolExecutor(max_workers=max_workers)
+
+
+def _remote_factory(**options: Any) -> ExecutionBackend:
+    """Build the ``remote`` backend lazily (sockets stay unimported
+    until someone actually asks for distributed execution)."""
+    from repro.runner.remote import RemoteBackend
+
+    return RemoteBackend(**options)
 
 
 # -- registry ------------------------------------------------------------------
@@ -199,6 +234,7 @@ _BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
     ProcessBackend.name: ProcessBackend,
     ThreadBackend.name: ThreadBackend,
+    "remote": _remote_factory,
 }
 
 
@@ -208,12 +244,18 @@ def available_backends() -> Tuple[str, ...]:
 
 
 def get_backend(
-    name: str, n_jobs: int = 1, mp_context: Optional[str] = None
+    name: str,
+    n_jobs: int = 1,
+    mp_context: Optional[str] = None,
+    **options: Any,
 ) -> ExecutionBackend:
     """Build the backend registered under *name*.
 
-    Factories are called as ``factory(n_jobs=..., mp_context=...)``;
-    custom backends must accept (and may ignore) both keywords.
+    Factories are called as ``factory(n_jobs=..., mp_context=...,
+    **options)``; custom backends must accept (and may ignore) the two
+    standard keywords.  Extra *options* are backend-specific (the
+    ``remote`` backend takes ``bind``/``workers``/``spawn_workers``);
+    backends that take none reject them with a ``TypeError``.
     """
     try:
         factory = _BACKENDS[name]
@@ -222,7 +264,7 @@ def get_backend(
             f"unknown execution backend {name!r}; registered: "
             f"{', '.join(available_backends())}"
         ) from None
-    return factory(n_jobs=n_jobs, mp_context=mp_context)
+    return factory(n_jobs=n_jobs, mp_context=mp_context, **options)
 
 
 def register_backend(

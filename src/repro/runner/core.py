@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import multiprocessing
 
@@ -146,11 +146,15 @@ class ParallelRunner:
         ``process`` backend.
     backend:
         Execution backend: a registered name (``"serial"``,
-        ``"process"``, ``"thread"``, or anything added through
-        :func:`~repro.runner.backends.register_backend`) or an
+        ``"process"``, ``"thread"``, ``"remote"``, or anything added
+        through :func:`~repro.runner.backends.register_backend`) or an
         :class:`~repro.runner.backends.ExecutionBackend` instance.
         ``None`` (default) selects ``serial`` for ``n_jobs=1`` and
         ``process`` otherwise — exactly the historical behaviour.
+    backend_options:
+        Extra keyword arguments for the backend factory when *backend*
+        is a name — e.g. ``{"bind": "0.0.0.0:7787", "workers": 2}`` for
+        ``"remote"``.  Backends that take no options reject them.
     store_dir:
         When set, shard payloads stream to a JSONL file under this
         directory as workers finish instead of accumulating in RAM;
@@ -167,6 +171,7 @@ class ParallelRunner:
         mp_context: Optional[str] = None,
         backend: Union[str, ExecutionBackend, None] = None,
         store_dir: Optional[os.PathLike] = None,
+        backend_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if n_jobs == 0 or n_jobs < -1:
             raise ValueError(
@@ -185,7 +190,15 @@ class ParallelRunner:
             backend = "serial" if self.n_jobs == 1 else "process"
         if isinstance(backend, str):
             backend = get_backend(
-                backend, n_jobs=self.n_jobs, mp_context=self.mp_context
+                backend,
+                n_jobs=self.n_jobs,
+                mp_context=self.mp_context,
+                **(backend_options or {}),
+            )
+        elif backend_options:
+            raise ValueError(
+                "backend_options only apply when backend is a registry "
+                "name; configure the instance directly instead"
             )
         self.backend: ExecutionBackend = backend
         self.store_dir = store_dir

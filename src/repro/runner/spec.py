@@ -72,6 +72,32 @@ class TrialSpec:
         digest = hashlib.sha256(canonical_json(self.identity()).encode())
         return digest.hexdigest()
 
+    def to_wire(self) -> Dict[str, Any]:
+        """The full JSON form of this spec (identity *plus* bookkeeping).
+
+        Unlike :meth:`identity` this includes ``index`` and ``cacheable``
+        so a remote worker can reconstruct the exact spec the coordinator
+        holds — trial functions may legitimately read either field.
+        """
+        return {
+            "experiment": self.experiment,
+            "index": self.index,
+            "seed": self.seed,
+            "params": json_roundtrip(self.params),
+            "cacheable": self.cacheable,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "TrialSpec":
+        """Rebuild a spec from :meth:`to_wire` output."""
+        return cls(
+            experiment=str(payload["experiment"]),
+            index=int(payload["index"]),
+            seed=payload.get("seed"),
+            params=dict(payload.get("params", {})),
+            cacheable=bool(payload.get("cacheable", True)),
+        )
+
 
 def shard_specs(specs: Sequence[TrialSpec], shard_size: int) -> List[List[TrialSpec]]:
     """Split *specs* into contiguous shards of at most *shard_size* trials.

@@ -244,3 +244,49 @@ class TestExperimentsVerb:
         assert "0 trials executed, 2 recalled from cache" in second
         # identical rendered tables: the cache changes nothing but time
         assert first.split("[fig6")[0] == second.split("[fig6")[0]
+
+
+class TestRemoteFlags:
+    """The remote-backend knobs on `repro experiments` and `repro worker`."""
+
+    @staticmethod
+    def _parse(argv):
+        import argparse
+
+        from repro.runner.args import RunnerArgs, add_runner_arguments
+
+        parser = argparse.ArgumentParser()
+        add_runner_arguments(parser)
+        return RunnerArgs.from_namespace(parser.parse_args(argv))
+
+    def test_remote_flags_become_backend_options(self):
+        args = self._parse(
+            ["--backend", "remote", "--workers", "alpha,beta",
+             "--bind", "0.0.0.0:7787"]
+        )
+        assert args.backend_options() == {
+            "workers": "alpha,beta", "bind": "0.0.0.0:7787",
+        }
+        args = self._parse(["--backend", "remote", "--remote-workers", "3"])
+        assert args.backend_options() == {"spawn_workers": 3}
+
+    def test_remote_flags_require_remote_backend(self):
+        args = self._parse(["--workers", "2"])
+        with pytest.raises(ValueError, match="--backend remote"):
+            args.backend_options()
+
+    def test_plain_flags_build_without_options(self):
+        assert self._parse(["--jobs", "2"]).backend_options() == {}
+
+    def test_bad_flag_values_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            self._parse(["--remote-workers", "0"])
+        with pytest.raises(SystemExit):
+            self._parse(["--workers", "  "])
+
+
+class TestWorkerVerb:
+    def test_no_coordinator_exits_one(self, capsys):
+        code = main(["worker", "127.0.0.1:1", "--retry-seconds", "0.2"])
+        assert code == 1
+        assert "no coordinator" in capsys.readouterr().out

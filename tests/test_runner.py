@@ -172,6 +172,37 @@ class TestBackends:
         with pytest.raises(ValueError, match="already registered"):
             register_backend("serial", SerialBackend)
 
+    def test_optionless_backends_reject_backend_options(self):
+        # serial/process/thread take no options; a typo'd or misrouted
+        # option must fail at construction, not be silently dropped.
+        with pytest.raises(TypeError):
+            get_backend("serial", bind="127.0.0.1:0")
+        with pytest.raises(TypeError):
+            ParallelRunner(backend="thread", backend_options={"workers": 2})
+
+    def test_backend_options_need_a_registry_name(self):
+        with pytest.raises(ValueError, match="registry name"):
+            ParallelRunner(
+                backend=SerialBackend(), backend_options={"bind": "x"}
+            )
+
+    def test_backend_options_reach_the_factory(self):
+        captured = {}
+
+        def factory(n_jobs=1, mp_context=None, **options):
+            captured.update(options, n_jobs=n_jobs)
+            return SerialBackend()
+
+        register_backend("capturing", factory)
+        try:
+            ParallelRunner(
+                n_jobs=3, backend="capturing",
+                backend_options={"flavor": "mesh"},
+            )
+            assert captured == {"flavor": "mesh", "n_jobs": 3}
+        finally:
+            unregister_backend("capturing")
+
     def test_shared_cache_across_backends(self, tmp_path):
         specs = make_specs(6)
         ParallelRunner(n_jobs=1, cache_dir=tmp_path).run(
@@ -459,6 +490,40 @@ class TestWorkerFailure:
     def test_parallel_crash_carries_traceback(self):
         with pytest.raises(ShardExecutionError, match="probe storm"):
             ParallelRunner(n_jobs=2).run("unit", fragile_trial, make_specs(4))
+
+    def test_every_backend_carries_worker_traceback_verbatim(self):
+        # The worker-side traceback — file, line, exception text — must
+        # survive every transport (in-process, pickle, pool future) and
+        # land verbatim in the ShardExecutionError message.
+        for backend in ("serial", "process", "thread"):
+            with pytest.raises(ShardExecutionError) as excinfo:
+                ParallelRunner(n_jobs=2, backend=backend).run(
+                    "unit", fragile_trial, make_specs(4)
+                )
+            error = excinfo.value
+            assert "ValueError: probe storm in trial 2" in error.worker_traceback
+            assert "Traceback (most recent call last)" in error.worker_traceback
+            assert "fragile_trial" in error.worker_traceback
+            assert error.worker_traceback in str(error)
+
+    def test_thread_backend_chains_original_exception(self):
+        # Threads share the process, so (like serial) the live exception
+        # must ride along as __cause__, not be flattened to text.
+        with pytest.raises(ShardExecutionError) as excinfo:
+            ParallelRunner(n_jobs=2, backend="thread").run(
+                "unit", fragile_trial, make_specs(4)
+            )
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_process_backend_error_is_text_only(self):
+        # Across the process boundary arbitrary exceptions are not
+        # guaranteed picklable: text is the contract, __cause__ stays
+        # empty.  (Documents the asymmetry rather than hiding it.)
+        with pytest.raises(ShardExecutionError) as excinfo:
+            ParallelRunner(n_jobs=2, backend="process").run(
+                "unit", fragile_trial, make_specs(4)
+            )
+        assert excinfo.value.__cause__ is None
 
     def test_failed_shard_is_not_cached(self, tmp_path):
         runner = ParallelRunner(n_jobs=1, cache_dir=tmp_path)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Cross-tier benchmark report: numpy kernel tier versus numba tier.
+
+Reads two pytest-benchmark JSON documents produced from the *same*
+benchmark selection under different ``REPRO_KERNEL_TIER`` settings and
+prints a per-benchmark speedup table (numpy time / numba time).  Under
+GitHub Actions (``GITHUB_STEP_SUMMARY`` set) the same table is appended
+to the job's step summary as markdown.
+
+This is a report, not a gate: the compiled tier's wins vary with the
+benchmark's BLAS/Python mix (kernel-bound microbenches speed up a lot,
+BLAS-bound solves barely move), so there is no single honest threshold.
+The regression gates live in ``check_bench_regression.py``, which both
+tier runs pass through separately.
+
+Usage::
+
+    python scripts/compare_kernel_tiers.py NUMPY.json NUMBA.json
+
+Exit status: 0 on success (any speedups), 2 on bad input or when the
+two documents share no benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_means(path: str) -> "dict[str, float]":
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        print(f"error: {path} is not pytest-benchmark JSON", file=sys.stderr)
+        raise SystemExit(2)
+    return {
+        bench["fullname"]: float(bench["stats"]["mean"])
+        for bench in benchmarks
+    }
+
+
+def write_step_summary(shared: "list[str]", numpy_means, numba_means) -> None:
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "## Kernel tier comparison (numpy vs numba)",
+        "",
+        "| benchmark | numpy tier | numba tier | speedup |",
+        "|---|---:|---:|---:|",
+    ]
+    for name in shared:
+        np_time, nb_time = numpy_means[name], numba_means[name]
+        speedup = np_time / nb_time if nb_time > 0 else float("inf")
+        lines.append(
+            f"| `{name}` | {np_time * 1e3:.2f} ms | {nb_time * 1e3:.2f} ms | "
+            f"{speedup:.2f}x |"
+        )
+    lines += [""]
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("numpy_json", help="--benchmark-json from the numpy tier")
+    parser.add_argument("numba_json", help="--benchmark-json from the numba tier")
+    args = parser.parse_args(argv)
+
+    numpy_means = load_means(args.numpy_json)
+    numba_means = load_means(args.numba_json)
+    shared = sorted(set(numpy_means) & set(numba_means))
+    if not shared:
+        print("error: the two documents share no benchmarks", file=sys.stderr)
+        return 2
+
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  {'numpy':>10}  {'numba':>10}  speedup")
+    for name in shared:
+        np_time, nb_time = numpy_means[name], numba_means[name]
+        speedup = np_time / nb_time if nb_time > 0 else float("inf")
+        print(
+            f"{name:<{width}}  {np_time:>9.4f}s  {nb_time:>9.4f}s  "
+            f"{speedup:>6.2f}x"
+        )
+
+    write_step_summary(shared, numpy_means, numba_means)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,12 @@ from repro.api.estimator import (
     NotFittedError,
 )
 from repro.api.registry import available, from_spec, get, register, unregister
-from repro.api.scenario import EstimatorEvaluation, Scenario, ScenarioResult
+from repro.api.scenario import (
+    EstimatorEvaluation,
+    Scenario,
+    ScenarioResult,
+    evaluate_forest,
+)
 
 __all__ = [
     "CLINKEstimator",
@@ -64,6 +69,7 @@ __all__ = [
     "TomoEstimator",
     "available",
     "distributed",
+    "evaluate_forest",
     "from_spec",
     "get",
     "register",

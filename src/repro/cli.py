@@ -363,6 +363,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Loss tomography from second-order flow statistics.",
     )
+    parser.add_argument(
+        "--kernel-tier",
+        choices=("auto", "numpy", "numba"),
+        default=None,
+        help=(
+            "compiled-kernel tier for the inner linear-algebra loops "
+            "(repro.core.kernels); 'auto' (the default, also via "
+            "REPRO_KERNEL_TIER) picks numba when installed, 'numba' "
+            "demands it, 'numpy' forces the pure-numpy fallback"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     audit = sub.add_parser("audit", help="identifiability report of a layout")
@@ -491,6 +502,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.kernel_tier is not None:
+        from repro.core.kernels import KernelTierError, set_kernel_tier
+
+        try:
+            set_kernel_tier(args.kernel_tier)
+        except KernelTierError as error:
+            print(f"--kernel-tier: {error}", file=sys.stderr)
+            return 2
     return args.func(args)
 
 

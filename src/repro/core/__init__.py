@@ -11,11 +11,18 @@ from repro.core.augmented import (
     pair_from_row_index,
     pair_row_index,
 )
-from repro.core.engine import FactorizationCache, InferenceEngine
+from repro.core.engine import FactorizationCache, InferenceEngine, infer_many
 from repro.core.identifiability import (
     IdentifiabilityReport,
     audit_identifiability,
     verify_theorem1,
+)
+from repro.core.kernels import (
+    KernelTierError,
+    available_tiers,
+    current_tier,
+    set_kernel_tier,
+    use_kernel_tier,
 )
 from repro.core.lia import LIAResult, LossInferenceAlgorithm
 from repro.core.reduction import (
@@ -42,6 +49,7 @@ __all__ = [
     "IdentifiabilityReport",
     "InferenceEngine",
     "IntersectingPairs",
+    "KernelTierError",
     "LIAResult",
     "LossInferenceAlgorithm",
     "ReductionResult",
@@ -51,17 +59,22 @@ __all__ = [
     "audit_identifiability",
     "augmented_matrix",
     "augmented_rank",
+    "available_tiers",
+    "current_tier",
     "estimate_link_variances",
     "has_identifiable_variances",
+    "infer_many",
     "intersecting_pairs",
     "num_pair_rows",
     "pair_from_row_index",
     "pair_row_index",
     "reduce_to_full_rank",
+    "set_kernel_tier",
     "solve_covariance_system",
     "solve_normal_cg",
     "solve_normal_sparse",
     "solve_reduced_system",
+    "use_kernel_tier",
     "variance_recovery_error",
     "verify_theorem1",
 ]

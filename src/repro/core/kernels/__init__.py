@@ -1,0 +1,193 @@
+"""Kernel tiers: compiled (numba) vs pure-numpy inner loops.
+
+PRs 2 and 5 rebuilt LIA's hot linear algebra around blocked numpy, but
+four inner loops still run in the interpreter when their fast BLAS path
+does not apply: the CGS2 two-matvec basis offer (every phase-2
+reduction), the zero-pivot-tolerant back-substitution, the Givens
+column-removal downdate, and the Householder panel factorization.  The
+Jacobi-preconditioned CG solve likewise pays scipy callback overhead on
+every ``A^T A x`` operator application.  At campaign scale — thousands
+of small trees per grid point — that per-iteration Python overhead, not
+FLOPs, dominates.
+
+This package puts those loops behind a *kernel registry* with two
+interchangeable tiers:
+
+``"numpy"``
+    the exact implementations the modules shipped with — vectorised
+    numpy plus the historical Python loops.  Always available; every
+    experiment payload is pinned to this tier's arithmetic.
+``"numba"``
+    ``@njit(cache=True)``-compiled versions of the same loops.  Only
+    registered when :mod:`numba` imports (``pip install repro[fast]``);
+    the registry silently falls back to ``"numpy"`` otherwise.
+
+Selection, in priority order:
+
+1. an explicit :func:`set_kernel_tier` call (the CLI's global
+   ``--kernel-tier`` flag routes here);
+2. the ``REPRO_KERNEL_TIER`` environment variable
+   (``numba``/``numpy``/``auto``); an env request for ``numba`` on a
+   machine without it *warns and falls back* — ambient configuration
+   must not break a base install;
+3. ``auto``: the best available tier (``numba`` when importable).
+
+The tier only ever swaps loop implementations whose *decisions* are
+discrete (basis acceptance, pivot handling) or whose consumers sit off
+the default experiment paths; all BLAS/LAPACK-bound solves are shared
+between tiers, the fused CG matvec reproduces scipy's summation order
+bit for bit, and the one continuous-output experiment consumer (the
+``"qr"`` ablation's ``solve_least_squares_qr``) pins the numpy backend
+by parameter — so experiment payloads stay seed-for-seed identical
+regardless of tier (pinned in ``tests/test_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+import os
+import warnings
+from types import ModuleType
+from typing import Iterator, Optional, Tuple
+
+__all__ = [
+    "ENV_VAR",
+    "KERNEL_OPS",
+    "KERNEL_TIERS",
+    "KernelTierError",
+    "available_tiers",
+    "current_tier",
+    "get_kernels",
+    "numba_available",
+    "set_kernel_tier",
+    "use_kernel_tier",
+]
+
+#: Environment variable consulted when no tier was set explicitly.
+ENV_VAR = "REPRO_KERNEL_TIER"
+
+#: Every tier name the registry understands (``"auto"`` resolves to the
+#: best entry of :func:`available_tiers`).
+KERNEL_TIERS = ("auto", "numpy", "numba")
+
+#: The operations every backend module must export.  ``gram_matvec``
+#: may be ``None`` (the numpy tier applies ``A^T (A x) + ridge x`` with
+#: scipy's own sparse matvecs instead of one fused kernel).
+KERNEL_OPS = (
+    "cgs2_project",
+    "back_substitution",
+    "givens_downdate",
+    "householder_panel",
+    "gram_matvec",
+)
+
+
+class KernelTierError(RuntimeError):
+    """An explicitly requested kernel tier cannot be provided."""
+
+
+def numba_available() -> bool:
+    """Whether the numba tier could be activated (without importing it)."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def available_tiers() -> Tuple[str, ...]:
+    """Concrete tiers on this machine, best first."""
+    if numba_available():
+        return ("numba", "numpy")
+    return ("numpy",)
+
+
+#: The explicitly selected tier (None -> resolve from the environment).
+_selected: Optional[str] = None
+#: The active backend module, loaded lazily on first kernel use.
+_active: Optional[ModuleType] = None
+_active_tier: Optional[str] = None
+
+
+def _resolve_from_environment() -> str:
+    value = os.environ.get(ENV_VAR, "auto").strip().lower() or "auto"
+    if value not in KERNEL_TIERS:
+        raise KernelTierError(
+            f"{ENV_VAR}={value!r} is not a kernel tier; "
+            f"choose one of {', '.join(KERNEL_TIERS)}"
+        )
+    if value == "numba" and not numba_available():
+        warnings.warn(
+            f"{ENV_VAR}=numba but numba is not installed "
+            "(pip install repro[fast]); falling back to the numpy tier",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return "numpy"
+    if value == "auto":
+        return available_tiers()[0]
+    return value
+
+
+def _load_backend(tier: str) -> ModuleType:
+    if tier == "numba":
+        from repro.core.kernels import numba_backend
+
+        return numba_backend
+    from repro.core.kernels import numpy_backend
+
+    return numpy_backend
+
+
+def current_tier() -> str:
+    """The tier :func:`get_kernels` would hand out right now."""
+    if _selected is not None:
+        return _selected
+    return _resolve_from_environment()
+
+
+def set_kernel_tier(tier: Optional[str]) -> str:
+    """Select a tier explicitly; returns the concrete tier activated.
+
+    ``"auto"`` (or ``None``) re-enables environment/best-available
+    resolution.  Unlike the environment variable, explicitly requesting
+    ``"numba"`` on a machine without numba *raises*
+    :class:`KernelTierError`: a typed-out flag deserves a loud failure,
+    not a silent fallback.
+    """
+    global _selected, _active, _active_tier
+    if tier is None:
+        tier = "auto"
+    tier = tier.strip().lower()
+    if tier not in KERNEL_TIERS:
+        raise KernelTierError(
+            f"unknown kernel tier {tier!r}; choose one of "
+            f"{', '.join(KERNEL_TIERS)}"
+        )
+    if tier == "numba" and not numba_available():
+        raise KernelTierError(
+            "kernel tier 'numba' requested but numba is not installed; "
+            "pip install repro[fast] or use --kernel-tier numpy"
+        )
+    _selected = None if tier == "auto" else tier
+    _active = None
+    _active_tier = None
+    return current_tier() if tier == "auto" else tier
+
+
+def get_kernels() -> ModuleType:
+    """The active backend module (loaded and memoized on first use)."""
+    global _active, _active_tier
+    tier = current_tier()
+    if _active is None or _active_tier != tier:
+        _active = _load_backend(tier)
+        _active_tier = tier
+    return _active
+
+
+@contextlib.contextmanager
+def use_kernel_tier(tier: str) -> Iterator[str]:
+    """Context manager pinning a tier for a ``with`` block (tests, benches)."""
+    global _selected, _active, _active_tier
+    saved = (_selected, _active, _active_tier)
+    try:
+        yield set_kernel_tier(tier)
+    finally:
+        _selected, _active, _active_tier = saved

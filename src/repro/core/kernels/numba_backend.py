@@ -1,0 +1,198 @@
+"""The numba kernel tier: ``@njit``-compiled inner loops.
+
+Importing this module requires :mod:`numba` (``pip install repro[fast]``);
+the registry only loads it after :func:`repro.core.kernels.numba_available`
+says it can.  All kernels are compiled with ``cache=True`` so the JIT
+cost is paid once per machine, not once per process.
+
+Correctness contract (pinned by ``tests/test_kernels.py``):
+
+* ``gram_matvec`` is the one kernel on an experiment-reachable numeric
+  path (the ``"cg"`` phase-1 solver): it fuses the ``y = A x``,
+  ``z = A^T y``, ``z + ridge x`` chain into one pass, accumulating each
+  CSR row sequentially exactly like ``scipy.sparse``'s C matvec — the
+  CG iterates, and therefore the returned solution, match the numpy
+  tier bit for bit.
+* ``back_substitution``, ``givens_downdate``, ``cgs2_project`` and
+  ``householder_panel`` agree with the numpy tier to machine precision
+  (the numpy tier reaches those sums through BLAS, whose accumulation
+  order differs from a sequential loop by rounding only).  Their
+  experiment-visible consumers are either discrete decisions taken far
+  from the tolerance boundary (basis acceptance, pivot handling) or off
+  the default paths entirely (downdating is opt-in; the ``"qr"``
+  ablation pins the numpy tier in ``solve_least_squares_qr``), so
+  experiment payloads never depend on the rounding difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = [
+    "TIER",
+    "back_substitution",
+    "cgs2_project",
+    "givens_downdate",
+    "gram_matvec",
+    "householder_panel",
+]
+
+TIER = "numba"
+
+
+@njit(cache=True)
+def cgs2_project(storage, rank, v):
+    """Two classical Gram–Schmidt passes of *v* against ``storage[:, :rank]``.
+
+    Classical (not modified) GS: each pass computes every coefficient
+    against the *incoming* vector before subtracting — the same
+    projector ``v - B (B^T v)`` as the numpy tier, looped so no
+    temporaries are allocated per offer.
+    """
+    n = v.shape[0]
+    w = np.empty(rank, dtype=np.float64)
+    for _ in range(2):
+        for j in range(rank):
+            acc = 0.0
+            for i in range(n):
+                acc += storage[i, j] * v[i]
+            w[j] = acc
+        for i in range(n):
+            acc = 0.0
+            for j in range(rank):
+                acc += storage[i, j] * w[j]
+            v[i] -= acc
+    return v
+
+
+@njit(cache=True)
+def back_substitution(U, b, tol):
+    """Zero-pivot-tolerant back-substitution; sequential sums like numpy's."""
+    n = U.shape[0]
+    x = np.zeros(n, dtype=np.float64)
+    for k in range(n - 1, -1, -1):
+        residual = b[k]
+        for j in range(k + 1, n):
+            residual -= U[k, j] * x[j]
+        pivot = U[k, k]
+        if abs(pivot) <= tol:
+            x[k] = 0.0
+        else:
+            x[k] = residual / pivot
+    return x
+
+
+@njit(cache=True)
+def givens_downdate(r, q, position):
+    """Givens sweep restoring triangularity after a column deletion.
+
+    Identical rotation coefficients and application order to the numpy
+    tier (rows ``i, i+1`` of *r* from column ``i`` on; columns
+    ``i, i+1`` of *q*), written as scalar updates.
+    """
+    k = q.shape[1]
+    ncols = r.shape[1]
+    m = q.shape[0]
+    for i in range(position, k - 1):
+        a = r[i, i]
+        b = r[i + 1, i]
+        h = np.hypot(a, b)
+        if h == 0.0:
+            continue
+        c = a / h
+        s = b / h
+        for j in range(i, ncols):
+            t0 = r[i, j]
+            t1 = r[i + 1, j]
+            r[i, j] = c * t0 + s * t1
+            r[i + 1, j] = -s * t0 + c * t1
+        for row in range(m):
+            t0 = q[row, i]
+            t1 = q[row, i + 1]
+            q[row, i] = t0 * c + t1 * s
+            q[row, i + 1] = -t0 * s + t1 * c
+
+
+@njit(cache=True)
+def householder_panel(A, V, betas, k0, k1):
+    """Panel factorization + compact-WY ``T`` accumulation, fully looped."""
+    m = A.shape[0]
+    for k in range(k0, k1):
+        norm_sq = 0.0
+        for i in range(k, m):
+            norm_sq += A[i, k] * A[i, k]
+        norm_x = np.sqrt(norm_sq)
+        if norm_x == 0.0:
+            for i in range(k, m):
+                V[i, k] = 0.0
+            betas[k] = 0.0
+            continue
+        x0 = A[k, k]
+        for i in range(k, m):
+            V[i, k] = A[i, k]
+        if x0 != 0.0:
+            V[k, k] += np.sign(x0) * norm_x
+        else:
+            V[k, k] += norm_x
+        vnorm_sq = 0.0
+        for i in range(k, m):
+            vnorm_sq += V[i, k] * V[i, k]
+        vnorm = np.sqrt(vnorm_sq)
+        for i in range(k, m):
+            V[i, k] /= vnorm
+        betas[k] = 2.0
+        for j in range(k, k1):
+            dot = 0.0
+            for i in range(k, m):
+                dot += V[i, k] * A[i, j]
+            dot *= 2.0
+            for i in range(k, m):
+                A[i, j] -= V[i, k] * dot
+    nb = k1 - k0
+    T = np.zeros((nb, nb), dtype=np.float64)
+    w = np.empty(nb, dtype=np.float64)
+    for j in range(nb):
+        beta = betas[k0 + j]
+        if j > 0 and beta != 0.0:
+            for ii in range(j):
+                acc = 0.0
+                for i in range(k0, m):
+                    acc += V[i, k0 + ii] * V[i, k0 + j]
+                w[ii] = acc
+            for ii in range(j):
+                acc = 0.0
+                for jj in range(ii, j):  # T is upper triangular
+                    acc += T[ii, jj] * w[jj]
+                T[ii, j] = -beta * acc
+        T[j, j] = beta
+    return T
+
+
+@njit(cache=True)
+def gram_matvec(
+    a_data, a_indices, a_indptr,
+    at_data, at_indices, at_indptr,
+    n_rows, x, ridge,
+):
+    """Fused ``A^T (A x) + ridge x`` over CSR ``A`` and CSR ``A^T``.
+
+    Each row accumulates sequentially over its nonzeros — the exact
+    summation order of ``scipy.sparse``'s C matvec — so the result is
+    bit-identical to the numpy tier's two-product operator and the CG
+    iterates it drives do not change across tiers.
+    """
+    n_cols = x.shape[0]
+    y = np.empty(n_rows, dtype=np.float64)
+    for i in range(n_rows):
+        acc = 0.0
+        for jj in range(a_indptr[i], a_indptr[i + 1]):
+            acc += a_data[jj] * x[a_indices[jj]]
+        y[i] = acc
+    out = np.empty(n_cols, dtype=np.float64)
+    for i in range(n_cols):
+        acc = 0.0
+        for jj in range(at_indptr[i], at_indptr[i + 1]):
+            acc += at_data[jj] * y[at_indices[jj]]
+        out[i] = acc + ridge * x[i]
+    return out

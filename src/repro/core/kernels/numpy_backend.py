@@ -1,0 +1,129 @@
+"""The pure-numpy kernel tier: the implementations the modules shipped with.
+
+Every function here is the inner loop extracted *verbatim* from
+``core/linalg.py`` (PR 2's blocked kernels) — same operations in the
+same order, so routing those modules through this backend changes no
+result by a single bit.  This tier is always available and is the
+arithmetic every experiment payload is pinned to.
+
+``gram_matvec`` is ``None``: the numpy tier lets
+:func:`repro.core.sparse_solvers.solve_normal_cg` apply the
+normal-equation operator with scipy's own sparse matvecs, exactly as
+PR 5 shipped it.  (The numba tier replaces that operator application
+with one fused CSR kernel that performs the same sequential per-row
+accumulations, so the CG iterates stay bit-identical — see
+``numba_backend``.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "TIER",
+    "back_substitution",
+    "cgs2_project",
+    "givens_downdate",
+    "gram_matvec",
+    "householder_panel",
+]
+
+TIER = "numpy"
+
+
+def cgs2_project(
+    storage: np.ndarray, rank: int, v: np.ndarray
+) -> np.ndarray:
+    """Orthogonalise *v* (in place) against ``storage[:, :rank]``, twice.
+
+    Two classical Gram–Schmidt passes, each two BLAS-2 products — the
+    exact body of ``IncrementalColumnBasis.try_add``.
+    """
+    B = storage[:, :rank]
+    v -= B @ (B.T @ v)
+    v -= B @ (B.T @ v)  # second pass for numerical robustness
+    return v
+
+
+def back_substitution(
+    U: np.ndarray, b: np.ndarray, tol: float
+) -> np.ndarray:
+    """Zero-pivot-tolerant back-substitution (the degenerate slow path).
+
+    Only reached when a pivot of ``U`` underflows *tol* — the full-rank
+    case dispatches to LAPACK ``trtrs`` before the kernel is consulted.
+    """
+    n = U.shape[0]
+    x = np.zeros(n, dtype=np.float64)
+    for k in range(n - 1, -1, -1):
+        residual = b[k] - U[k, k + 1 :] @ x[k + 1 :]
+        if abs(U[k, k]) <= tol:
+            x[k] = 0.0
+        else:
+            x[k] = residual / U[k, k]
+    return x
+
+
+def givens_downdate(r: np.ndarray, q: np.ndarray, position: int) -> None:
+    """Restore triangularity after deleting column *position* (in place).
+
+    *r* is the upper-Hessenberg ``(k, k-1)`` array left by the column
+    deletion and *q* the ``(m, k)`` orthonormal block; one Givens
+    rotation per subdiagonal entry, applied to both.
+    """
+    k = q.shape[1]
+    for i in range(position, k - 1):
+        a, b = r[i, i], r[i + 1, i]
+        h = np.hypot(a, b)
+        if h == 0.0:
+            continue
+        c, s = a / h, b / h
+        rot = np.array([[c, s], [-s, c]])
+        r[[i, i + 1], i:] = rot @ r[[i, i + 1], i:]
+        q[:, [i, i + 1]] = q[:, [i, i + 1]] @ rot.T
+
+
+def householder_panel(
+    A: np.ndarray,
+    V: np.ndarray,
+    betas: np.ndarray,
+    k0: int,
+    k1: int,
+) -> np.ndarray:
+    """Factorize panel columns ``[k0, k1)`` of *A* in place; return ``T``.
+
+    One Householder reflector per column (written into ``V``/``betas``)
+    applied to the remaining panel columns, then the forward
+    accumulation of the compact-WY ``T`` with
+    ``H_{k0} ... H_{k1-1} = I - Vp T Vp^T``.
+    """
+    for k in range(k0, k1):
+        x = A[k:, k]
+        norm_x = np.linalg.norm(x)
+        if norm_x == 0.0:
+            V[k:, k] = 0.0
+            betas[k] = 0.0
+            continue
+        v = x.copy()
+        v[0] += np.sign(x[0]) * norm_x if x[0] != 0 else norm_x
+        v /= np.linalg.norm(v)
+        beta = 2.0
+        V[k:, k] = v
+        betas[k] = beta
+        A[k:, k:k1] -= beta * np.outer(v, v @ A[k:, k:k1])
+    nb = k1 - k0
+    Vp = V[k0:, k0:k1]
+    T = np.zeros((nb, nb), dtype=np.float64)
+    for j in range(nb):
+        beta = betas[k0 + j]
+        if j and beta:
+            T[:j, j] = -beta * (T[:j, :j] @ (Vp[:, :j].T @ Vp[:, j]))
+        T[j, j] = beta
+    return T
+
+
+#: The numpy tier has no fused normal-equation matvec; the CG solver
+#: applies ``A^T (A x) + ridge x`` with scipy sparse products.
+gram_matvec: Optional[object] = None

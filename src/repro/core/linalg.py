@@ -20,35 +20,53 @@ pinning oracles for the equivalence tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import linalg as scipy_linalg
 from scipy import sparse
+from scipy.linalg import lapack as scipy_lapack
+
+from repro.core.kernels import get_kernels
 
 #: Panel width of the blocked Householder QR.  32 keeps the T matrices
 #: tiny while making the trailing update a genuine BLAS-3 operation.
 DEFAULT_BLOCK_SIZE = 32
 
 
-def _householder_vector(x: np.ndarray) -> Tuple[np.ndarray, float]:
-    """Unit Householder vector ``v`` and scale ``beta`` annihilating ``x[1:]``.
+def solve_upper_triangular(r: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``r x = b`` (upper triangular) straight through LAPACK ``trtrs``.
 
-    Returns ``(v, 2.0)`` with ``||v|| = 1`` so that
-    ``(I - beta v v^T) x = -sign(x_0) ||x|| e_1``; a zero input yields
-    ``beta = 0`` (the reflection degenerates to the identity).
+    Bit-identical to ``scipy.linalg.solve_triangular(r, b, lower=False)``
+    while skipping ~10x of per-call wrapper overhead — the batched
+    ``infer_many`` path issues one of these per tree, so the constant
+    matters.  scipy avoids copying a C-contiguous matrix into Fortran
+    order by solving the transposed system (``trtrs(r.T, b, lower=True,
+    trans=True)``); mirroring that dispatch exactly is what makes the
+    results identical to the last bit, not just to precision.
     """
-    norm_x = np.linalg.norm(x)
-    if norm_x == 0.0:
-        return np.zeros_like(x), 0.0
-    v = x.copy()
-    v[0] += np.sign(x[0]) * norm_x if x[0] != 0 else norm_x
-    v /= np.linalg.norm(v)
-    return v, 2.0
+    if r.flags.c_contiguous:
+        x, info = scipy_lapack.dtrtrs(
+            r.T, b, lower=1, trans=1, unitdiag=0, overwrite_b=0
+        )
+    else:
+        x, info = scipy_lapack.dtrtrs(
+            r, b, lower=0, trans=0, unitdiag=0, overwrite_b=0
+        )
+    if info > 0:
+        raise scipy_linalg.LinAlgError(
+            f"singular triangular system: zero diagonal entry {info}"
+        )
+    if info < 0:
+        raise ValueError(f"illegal trtrs argument {-info}")
+    return x
 
 
 def householder_qr(
-    matrix: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE
+    matrix: np.ndarray,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    kernels=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Compact blocked Householder QR: ``(Q, R)`` with ``Q`` m x n, ``R`` n x n.
 
@@ -60,6 +78,10 @@ def householder_qr(
     reference, but the factorization it returns is the same to machine
     precision (see ``householder_qr_reference`` and the equivalence
     tests).
+
+    *kernels* pins a specific backend module for the panel loop (a
+    payload-stability escape hatch for callers that must not follow the
+    active tier); ``None`` dispatches to the registry's current tier.
     """
     A = np.array(matrix, dtype=np.float64)
     if A.ndim != 2:
@@ -74,27 +96,17 @@ def householder_qr(
     betas = np.zeros(n, dtype=np.float64)
     panels: List[Tuple[int, int, np.ndarray]] = []  # (k0, k1, T)
 
+    kern = kernels if kernels is not None else get_kernels()
     for k0 in range(0, n, block_size):
         k1 = min(k0 + block_size, n)
-        # Unblocked factorization of the panel columns.
-        for k in range(k0, k1):
-            v, beta = _householder_vector(A[k:, k].copy())
-            V[k:, k] = v
-            betas[k] = beta
-            if beta:
-                A[k:, k:k1] -= beta * np.outer(v, v @ A[k:, k:k1])
-        # Forward accumulation of T:  H_{k0} ... H_{k1-1} = I - Vp T Vp^T.
-        nb = k1 - k0
-        Vp = V[k0:, k0:k1]
-        T = np.zeros((nb, nb), dtype=np.float64)
-        for j in range(nb):
-            beta = betas[k0 + j]
-            if j and beta:
-                T[:j, j] = -beta * (T[:j, :j] @ (Vp[:, :j].T @ Vp[:, j]))
-            T[j, j] = beta
+        # Unblocked factorization of the panel columns plus forward
+        # accumulation of T (H_{k0} ... H_{k1-1} = I - Vp T Vp^T) — the
+        # per-column inner loop, dispatched to the active kernel tier.
+        T = kern.householder_panel(A, V, betas, k0, k1)
         panels.append((k0, k1, T))
         # Blocked trailing update:  A := P^T A = A - V T^T (V^T A).
         if k1 < n:
+            Vp = V[k0:, k0:k1]
             W = Vp.T @ A[k0:, k1:]
             A[k0:, k1:] -= Vp @ (T.T @ W)
 
@@ -145,7 +157,9 @@ def householder_qr_reference(
     return Q, R
 
 
-def back_substitution(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+def back_substitution(
+    upper: np.ndarray, rhs: np.ndarray, kernels=None
+) -> np.ndarray:
     """Solve ``U x = b`` for upper-triangular ``U`` (zero diag -> 0 entry).
 
     Zero pivots get a zero solution component instead of raising: LIA's
@@ -168,14 +182,10 @@ def back_substitution(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     tol = max(scale, 1.0) * n * np.finfo(np.float64).eps
     if np.min(np.abs(np.diag(U))) > tol:
         return scipy_linalg.solve_triangular(U, b, lower=False, check_finite=False)
-    x = np.zeros(n, dtype=np.float64)
-    for k in range(n - 1, -1, -1):
-        residual = b[k] - U[k, k + 1 :] @ x[k + 1 :]
-        if abs(U[k, k]) <= tol:
-            x[k] = 0.0
-        else:
-            x[k] = residual / U[k, k]
-    return x
+    kern = kernels if kernels is not None else get_kernels()
+    return kern.back_substitution(
+        np.ascontiguousarray(U), np.ascontiguousarray(b), tol
+    )
 
 
 def solve_least_squares_qr(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
@@ -183,13 +193,24 @@ def solve_least_squares_qr(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
 
     The paper's phase-1/phase-2 solver (O(n_p^2 n_c^2 - n_c^3 / 3) there;
     same complexity class here, now with the blocked kernel).
+
+    This is the one kernel consumer whose continuous output lands in an
+    experiment payload (the ``"qr"`` phase-1 ablation), so it pins the
+    numpy backend explicitly: the compiled panel agrees with the numpy
+    one only to machine precision, and payloads must be seed-for-seed
+    identical regardless of tier.  (A parameter pin, not a registry
+    switch, so concurrent solves on other threads keep their tier.)
+    The compiled panel is exercised through :func:`householder_qr`
+    directly (factorize(method="householder"), the kernel benchmarks).
     """
+    from repro.core.kernels import numpy_backend
+
     A = np.asarray(matrix, dtype=np.float64)
     b = np.asarray(rhs, dtype=np.float64)
     if A.shape[0] != b.shape[0]:
         raise ValueError("matrix and rhs row counts differ")
-    Q, R = householder_qr(A)
-    return back_substitution(R, Q.T @ b)
+    Q, R = householder_qr(A, kernels=numpy_backend)
+    return back_substitution(R, Q.T @ b, kernels=numpy_backend)
 
 
 @dataclass(frozen=True)
@@ -260,6 +281,17 @@ class QRFactorization:
         scale = max(float(np.max(np.abs(self.r))), 1.0)
         return bool(np.min(diag) > rel_tol * scale * self.num_columns)
 
+    @cached_property
+    def full_rank(self) -> bool:
+        """:meth:`is_full_rank` at the default tolerance, computed once.
+
+        The factorization is frozen, so the verdict never changes; the
+        engine consults it on *every* solve, which made the four numpy
+        reductions inside :meth:`is_full_rank` the single largest cost
+        of a warm small-tree inference (~40% of ``infer_many``).
+        """
+        return self.is_full_rank()
+
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Least-squares solve for a 1-D rhs or a 2-D multi-RHS block.
 
@@ -273,9 +305,7 @@ class QRFactorization:
         if self.num_columns == 0:
             shape = (0,) if b.ndim == 1 else (0, b.shape[1])
             return np.zeros(shape, dtype=np.float64)
-        return scipy_linalg.solve_triangular(
-            self.r, self.q.T @ b, lower=False, check_finite=False
-        )
+        return solve_upper_triangular(self.r, self.q.T @ b)
 
     def remove_column(self, position: int) -> "QRFactorization":
         """Downdate: the factorization with column *position* deleted.
@@ -288,17 +318,11 @@ class QRFactorization:
         k = self.num_columns
         if not 0 <= position < k:
             raise IndexError(f"no column {position} in a rank-{k} factorization")
-        r = np.delete(self.r, position, axis=1)
-        q = self.q.copy()
-        for i in range(position, k - 1):
-            a, b = r[i, i], r[i + 1, i]
-            h = np.hypot(a, b)
-            if h == 0.0:
-                continue
-            c, s = a / h, b / h
-            rot = np.array([[c, s], [-s, c]])
-            r[[i, i + 1], i:] = rot @ r[[i, i + 1], i:]
-            q[:, [i, i + 1]] = q[:, [i, i + 1]] @ rot.T
+        r = np.ascontiguousarray(np.delete(self.r, position, axis=1))
+        # np.array (not ascontiguousarray) so q is always a fresh copy —
+        # the kernel rotates it in place and must never touch self.q.
+        q = np.array(self.q, dtype=np.float64, order="C")
+        get_kernels().givens_downdate(r, q, position)
         remaining = self.columns[:position] + self.columns[position + 1 :]
         return QRFactorization(
             q=q[:, : k - 1], r=np.triu(r[: k - 1, :]), columns=remaining
@@ -409,9 +433,7 @@ class IncrementalColumnBasis:
         if norm0 == 0.0:
             return False
         if self._rank:
-            B = self._storage[:, : self._rank]
-            v -= B @ (B.T @ v)
-            v -= B @ (B.T @ v)  # second pass for numerical robustness
+            v = get_kernels().cgs2_project(self._storage, self._rank, v)
         norm1 = float(np.linalg.norm(v))
         if norm1 <= self.rel_tol * norm0:
             return False

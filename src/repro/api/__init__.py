@@ -47,6 +47,7 @@ from repro.api.estimator import (
 )
 from repro.api.registry import available, from_spec, get, register, unregister
 from repro.api.scenario import (
+    MODEL_REGISTRY,
     EstimatorEvaluation,
     Scenario,
     ScenarioResult,
@@ -62,6 +63,7 @@ __all__ = [
     "EstimatorSpec",
     "InferenceResult",
     "LIAEstimator",
+    "MODEL_REGISTRY",
     "NotFittedError",
     "SCFSEstimator",
     "Scenario",

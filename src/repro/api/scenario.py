@@ -26,14 +26,19 @@ traceroute measurement between topology and inference).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, is_dataclass
+from types import SimpleNamespace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.estimator import EstimatorSpec, InferenceResult
-from repro.lossmodel import LLRD1, LossRateModel
+from repro.lossmodel import INTERNET, LLRD1, LLRD2, LossRateModel
+from repro.lossmodel.bernoulli import BernoulliProcess
+from repro.lossmodel.congestion import CongestionLossProcess
+from repro.lossmodel.gilbert import GilbertProcess
 from repro.lossmodel.processes import LossProcess
+from repro.netsim.sim.config import TrafficConfig
 from repro.metrics import (
     AccuracyReport,
     DetectionOutcome,
@@ -44,6 +49,13 @@ from repro.probing import MeasurementCampaign, ProberConfig, ProbingSimulator
 from repro.probing.snapshot import Snapshot
 from repro.topology.prepare import PreparedTopology, prepare_topology
 from repro.utils.rng import derive_seed
+
+#: Named loss-rate models a serialised scenario may reference.
+MODEL_REGISTRY: Dict[str, LossRateModel] = {
+    LLRD1.name: LLRD1,
+    LLRD2.name: LLRD2,
+    INTERNET.name: INTERNET,
+}
 
 
 @dataclass
@@ -137,6 +149,14 @@ class Scenario:
         Probing knobs (:class:`~repro.probing.ProberConfig`), the
         two-class loss-rate model, and optionally a non-default loss
         process.
+    traffic:
+        The :class:`~repro.netsim.sim.config.TrafficConfig` stage.  The
+        default (``kind="analytic"``) keeps the historical behaviour;
+        ``kind="congestion"`` swaps the loss process for a
+        :class:`~repro.lossmodel.CongestionLossProcess` built over the
+        prepared topology's probing paths, so drops emerge from queue
+        overflow in the packet-level simulator.  Mutually exclusive
+        with an explicit ``process``.
     estimators:
         The :class:`~repro.api.EstimatorSpec`s to fit and score.
     num_training, training_grid, num_targets:
@@ -159,6 +179,7 @@ class Scenario:
     prober: ProberConfig = field(default_factory=ProberConfig)
     model: LossRateModel = LLRD1
     process: Optional[LossProcess] = None
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
     estimators: Tuple[EstimatorSpec, ...] = (EstimatorSpec("lia"),)
     num_training: int = 50
     training_grid: Optional[Tuple[int, ...]] = None
@@ -181,6 +202,11 @@ class Scenario:
             raise ValueError("num_training must be at least 1")
         if not self.estimators:
             raise ValueError("a scenario needs at least one estimator")
+        if self.traffic.is_congestion and self.process is not None:
+            raise ValueError(
+                "congestion traffic builds its own loss process; "
+                "drop the explicit process= (or use analytic traffic)"
+            )
 
     # -- derived sizes ---------------------------------------------------------
 
@@ -209,12 +235,23 @@ class Scenario:
         )
 
     def build_simulator(self, prepared: PreparedTopology) -> ProbingSimulator:
-        """The prober over a prepared topology."""
+        """The prober over a prepared topology.
+
+        With congestion traffic the loss process is constructed *here*,
+        per prepared topology — the packet simulator is specific to the
+        probing paths it must carry.
+        """
+        num_links = prepared.topology.network.num_links
+        process = self.process
+        if self.traffic.is_congestion:
+            process = CongestionLossProcess(
+                prepared.paths, num_links, traffic=self.traffic
+            )
         return ProbingSimulator(
             prepared.paths,
-            prepared.topology.network.num_links,
+            num_links,
             model=self.model,
-            process=self.process,
+            process=process,
             config=self.prober,
         )
 
@@ -390,6 +427,123 @@ class Scenario:
             results=results if target_consumer is None else [results[-1]],
             detections=detections,
             accuracy=accuracy,
+        )
+
+    # -- declarative round-trip ------------------------------------------------
+
+    def spec(self) -> Dict[str, Any]:
+        """JSON-safe declaration that :meth:`from_spec` rebuilds.
+
+        Callable hooks (``propensities``) and hand-built custom loss
+        processes have no declarative form and raise; the registry-backed
+        pieces — model name, gilbert/bernoulli process, traffic config,
+        estimator specs — serialise to plain dicts, so a scenario can
+        ride inside a ``TrialSpec``, a cache key, or a config file.
+        """
+        if self.propensities is not None:
+            raise ValueError(
+                "a propensities hook is a callable and cannot be serialised"
+            )
+        if self.process is None:
+            process: Optional[Dict[str, Any]] = None
+        elif type(self.process) is GilbertProcess:
+            process = {"kind": "gilbert", "stay_bad": self.process.stay_bad}
+        elif type(self.process) is BernoulliProcess:
+            process = {"kind": "bernoulli"}
+        else:
+            raise ValueError(
+                f"loss process {type(self.process).__name__} has no "
+                "declarative form (congestion traffic is declared via "
+                "traffic=, not process=)"
+            )
+        if self.params is None:
+            params: Optional[Dict[str, Any]] = None
+        elif is_dataclass(self.params):
+            params = asdict(self.params)
+        else:
+            params = dict(vars(self.params))
+        model = (
+            self.model.name
+            if MODEL_REGISTRY.get(self.model.name) == self.model
+            else asdict(self.model)
+        )
+        return {
+            "topology": self.topology,
+            "params": params,
+            "prober": asdict(self.prober),
+            "model": model,
+            "process": process,
+            "traffic": self.traffic.to_dict(),
+            "estimators": [spec.to_dict() for spec in self.estimators],
+            "num_training": self.num_training,
+            "training_grid": (
+                list(self.training_grid)
+                if self.training_grid is not None
+                else None
+            ),
+            "num_targets": self.num_targets,
+            "topology_salt": self.topology_salt,
+            "campaign_salt": self.campaign_salt,
+            "propensity_salt": self.propensity_salt,
+        }
+
+    @classmethod
+    def from_spec(cls, payload: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`spec` output (or parsed JSON)."""
+        model_payload = payload.get("model", LLRD1.name)
+        if isinstance(model_payload, str):
+            if model_payload not in MODEL_REGISTRY:
+                raise ValueError(
+                    f"unknown loss-rate model {model_payload!r}; "
+                    f"known: {sorted(MODEL_REGISTRY)}"
+                )
+            model = MODEL_REGISTRY[model_payload]
+        else:
+            fields = dict(model_payload)
+            fields["good_range"] = tuple(fields["good_range"])
+            fields["congested_range"] = tuple(fields["congested_range"])
+            model = LossRateModel(**fields)
+        process_payload = payload.get("process")
+        if process_payload is None:
+            process: Optional[LossProcess] = None
+        else:
+            kind = process_payload.get("kind")
+            if kind == "gilbert":
+                process = GilbertProcess(
+                    stay_bad=process_payload.get("stay_bad", 0.35)
+                )
+            elif kind == "bernoulli":
+                process = BernoulliProcess()
+            else:
+                raise ValueError(f"unknown loss process kind {kind!r}")
+        prober_payload = dict(payload.get("prober", {}))
+        if "propensity_range" in prober_payload:
+            prober_payload["propensity_range"] = tuple(
+                prober_payload["propensity_range"]
+            )
+        params_payload = payload.get("params")
+        grid = payload.get("training_grid")
+        return cls(
+            topology=payload.get("topology", "tree"),
+            params=(
+                SimpleNamespace(**params_payload)
+                if params_payload is not None
+                else None
+            ),
+            prober=ProberConfig(**prober_payload),
+            model=model,
+            process=process,
+            traffic=TrafficConfig.from_dict(payload.get("traffic", {})),
+            estimators=tuple(
+                EstimatorSpec.from_dict(e)
+                for e in payload.get("estimators", [{"method": "lia"}])
+            ),
+            num_training=int(payload.get("num_training", 50)),
+            training_grid=tuple(int(m) for m in grid) if grid else None,
+            num_targets=int(payload.get("num_targets", 1)),
+            topology_salt=int(payload.get("topology_salt", 0)),
+            campaign_salt=int(payload.get("campaign_salt", 1)),
+            propensity_salt=int(payload.get("propensity_salt", 1)),
         )
 
     # -- end to end ------------------------------------------------------------

@@ -32,6 +32,8 @@ Examples::
     python -m repro audit --topology tree --size 300 --seed 7
     python -m repro simulate --topology planetlab --snapshots 31 \
         --out campaign.json
+    python -m repro simulate --traffic congestion --size 60 \
+        --snapshots 11 --probes 300 --out congested.json
     python -m repro infer campaign.json --threshold 0.002
     python -m repro infer campaign.json --method scfs
     python -m repro infer campaign.json --variance-solver sparse
@@ -68,10 +70,15 @@ TOPOLOGY_CHOICES = (
 # the experiment modules (scipy and the full netsim stack) for verbs
 # that don't use them; tests pin them in sync with the real registries.
 EXPERIMENT_CHOICES = (
-    "ablations", "duration", "fig3", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "table2", "table3", "timing",
+    "ablations", "congestion", "duration", "fig3", "fig5", "fig6", "fig7",
+    "fig8", "fig9", "table2", "table3", "timing",
 )
 SCALE_CHOICES = ("tiny", "small", "paper")
+#: Static mirror of repro.netsim.sim.config.TRAFFIC_KINDS (pinned in
+#: sync by tests): how ``simulate`` realises per-link loss — sampled
+#: from an analytic process, or induced by queue overflow in the
+#: discrete-event packet simulator.
+TRAFFIC_CHOICES = ("analytic", "congestion")
 METHOD_CHOICES = ("clink", "delay", "lia", "scfs", "tomo")
 #: The methods a *loss* campaign document can drive (``delay`` consumes
 #: delay campaigns, which have no document format yet).
@@ -157,10 +164,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         congestion_probability=args.congestion,
         truth_mode=args.truth_mode,
     )
+    process = None
+    if args.traffic == "congestion":
+        from repro.lossmodel import CongestionLossProcess
+
+        process = CongestionLossProcess(paths, topology.network.num_links)
     simulator = ProbingSimulator(
         paths,
         topology.network.num_links,
         model=models[args.model],
+        process=process,
         config=config,
     )
     campaign = simulator.run_campaign(args.snapshots, routing, seed=args.seed)
@@ -395,6 +408,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--truth-mode",
         choices=("fixed", "redraw", "persistent", "propensity"),
         default="fixed",
+    )
+    simulate.add_argument(
+        "--traffic",
+        choices=TRAFFIC_CHOICES,
+        default="analytic",
+        help=(
+            "loss realisation: 'analytic' samples the configured loss "
+            "process; 'congestion' runs the packet-level simulator and "
+            "drops probes by queue overflow (repro.netsim.sim)"
+        ),
     )
     simulate.add_argument("--out", required=True)
     simulate.set_defaults(func=cmd_simulate)

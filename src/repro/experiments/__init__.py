@@ -11,6 +11,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablations,
+    congestion_vs_analytic,
     duration,
     fig3_mean_variance,
     fig5_tree_accuracy,
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "timing": timing.run,
     "duration": duration.run,
     "ablations": ablations.run,
+    "congestion": congestion_vs_analytic.run,
 }
 
 __all__ = [

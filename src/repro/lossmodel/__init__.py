@@ -8,18 +8,26 @@ from repro.lossmodel.assignment import (
     truth_from_propensities,
 )
 from repro.lossmodel.bernoulli import BernoulliProcess
+from repro.lossmodel.congestion import CongestionLossProcess
 from repro.lossmodel.gilbert import GilbertProcess
 from repro.lossmodel.models import INTERNET, LLRD1, LLRD2, LossRateModel
-from repro.lossmodel.processes import LossProcess
+from repro.lossmodel.processes import (
+    STREAMING_CHUNK,
+    STREAMING_PROBE_THRESHOLD,
+    LossProcess,
+)
 
 __all__ = [
     "INTERNET",
     "LLRD1",
     "LLRD2",
     "BernoulliProcess",
+    "CongestionLossProcess",
     "GilbertProcess",
     "LossProcess",
     "LossRateModel",
+    "STREAMING_CHUNK",
+    "STREAMING_PROBE_THRESHOLD",
     "SnapshotGroundTruth",
     "draw_link_propensities",
     "draw_snapshot_truth",

@@ -17,9 +17,11 @@ the variance signal LIA exploits.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
-from repro.lossmodel.processes import LossProcess
+from repro.lossmodel.processes import STREAMING_CHUNK, LossProcess
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -69,28 +71,64 @@ class GilbertProcess(LossProcess):
             stay = np.where(high, 1.0 - np.minimum(leave, 1.0), stay)
         return g2b, stay
 
+    def iter_state_chunks(
+        self,
+        loss_rates: np.ndarray,
+        num_probes: int,
+        seed: SeedLike = None,
+        chunk_size: int = STREAMING_CHUNK,
+    ) -> Iterator[np.ndarray]:
+        """True chunked realisation, bit-identical to the unchunked one.
+
+        The chain draws its uniforms time-major (one ``num_links`` row
+        per transition), so splitting ``rng.random((num_probes - 1,
+        num_links))`` into consecutive ``(block, num_links)`` draws
+        consumes the identical bitstream — only the chain state crosses
+        chunk boundaries.
+        """
+        rates = self._validated_rates(loss_rates)
+        if num_probes <= 0:
+            raise ValueError(f"num_probes must be positive, got {num_probes}")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        rng = as_rng(seed)
+        g2b, stay = self.effective_parameters(rates)
+
+        def chunks() -> Iterator[np.ndarray]:
+            num_links = rates.shape[0]
+            current = rng.random(num_links) < rates  # stationary start
+            emitted = 0
+            first = True
+            while emitted < num_probes:
+                block = min(chunk_size, num_probes - emitted)
+                states = np.empty((num_links, block), dtype=bool)
+                start = 0
+                if first:
+                    states[:, 0] = current
+                    start = 1
+                    first = False
+                uniforms = rng.random((block - start, num_links))
+                for t in range(block - start):
+                    u = uniforms[t]
+                    current_next = np.where(current, u < stay, u < g2b)
+                    states[:, start + t] = current_next
+                    current = current_next
+                yield states
+                emitted += block
+
+        return chunks()
+
     def sample_states(
         self,
         loss_rates: np.ndarray,
         num_probes: int,
         seed: SeedLike = None,
     ) -> np.ndarray:
-        rates = self._validated_rates(loss_rates)
-        if num_probes <= 0:
-            raise ValueError(f"num_probes must be positive, got {num_probes}")
-        rng = as_rng(seed)
-        num_links = rates.shape[0]
-        g2b, stay = self.effective_parameters(rates)
-
-        states = np.empty((num_links, num_probes), dtype=bool)
-        current = rng.random(num_links) < rates  # stationary start
-        states[:, 0] = current
-        uniforms = rng.random((num_probes - 1, num_links))
-        for t in range(1, num_probes):
-            u = uniforms[t - 1]
-            current = np.where(current, u < stay, u < g2b)
-            states[:, t] = current
-        return states
+        return next(
+            self.iter_state_chunks(
+                loss_rates, num_probes, seed=seed, chunk_size=num_probes
+            )
+        )
 
     def burst_length_mean(self) -> float:
         """Expected bad-state sojourn (in probes): 1 / P(bad -> good)."""

@@ -1,4 +1,10 @@
-"""Measurement-plane substrates: addressing, AS mapping, traceroute."""
+"""Measurement-plane substrates: addressing, AS mapping, traceroute.
+
+The :mod:`repro.netsim.sim` subpackage adds the data plane: a
+discrete-event packet-level simulator whose congestion-induced drops
+feed the tomography pipeline through
+:class:`repro.lossmodel.CongestionLossProcess`.
+"""
 
 from repro.netsim.addressing import (
     HostAllocator,
@@ -22,6 +28,12 @@ from repro.netsim.asmap import (
     build_address_plan,
     classify_congested_columns,
 )
+from repro.netsim.sim import (
+    TRAFFIC_KINDS,
+    CongestionSimulator,
+    SnapshotTrace,
+    TrafficConfig,
+)
 from repro.netsim.traceroute import (
     Hop,
     TracerouteConfig,
@@ -34,15 +46,19 @@ __all__ = [
     "AliasResolution",
     "AsLocationBreakdown",
     "AsMapper",
+    "CongestionSimulator",
     "Hop",
     "HostAllocator",
     "LongestPrefixTrie",
     "MeasuredTopology",
     "Prefix",
     "PrefixAllocator",
+    "SnapshotTrace",
+    "TRAFFIC_KINDS",
     "TracerouteConfig",
     "TracerouteRecord",
     "TracerouteSimulator",
+    "TrafficConfig",
     "build_address_plan",
     "build_measured_topology",
     "classify_congested_columns",

@@ -1,0 +1,25 @@
+"""Background cross-traffic congestion controllers.
+
+Three traffic personalities share the simulator's link queues with probe
+traffic:
+
+* :class:`ConstantBitRate` / :class:`OnOffCBR` — open-loop load, the
+  latter calibrated to overflow a queue a target fraction of the time;
+* :class:`AIMDController` — Reno-style additive-increase /
+  multiplicative-decrease, the queue-sawtooth workhorse;
+* :class:`RateProber` — a BBR-like periodic rate prober (burst, measure
+  ``min(send, recv)`` rate, adopt).
+"""
+
+from repro.netsim.sim.cc.aimd import AIMDController
+from repro.netsim.sim.cc.base import CongestionController
+from repro.netsim.sim.cc.cbr import ConstantBitRate, OnOffCBR
+from repro.netsim.sim.cc.prober import RateProber
+
+__all__ = [
+    "AIMDController",
+    "CongestionController",
+    "ConstantBitRate",
+    "OnOffCBR",
+    "RateProber",
+]

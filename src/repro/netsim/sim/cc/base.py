@@ -1,0 +1,53 @@
+"""The congestion-controller seam between hosts and traffic models.
+
+A controller owns exactly one number — the pacing rate its host feeds
+into the token-bucket :class:`~repro.netsim.sim.pacer.Pacer` — and
+updates it from the feedback the network gives a real sender: acks
+(packet delivered, with an RTT sample) and losses (packet dropped at a
+full queue).  Hosts call the hooks; controllers never touch the
+scheduler directly, which keeps them trivially composable and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.netsim.sim.packet import Packet
+
+
+class CongestionController:
+    """Base class: a fixed-rate controller ignoring all feedback."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        self.rate = float(rate)
+
+    def bind(self, rng: Optional[np.random.Generator]) -> None:
+        """Attach the flow's private RNG stream (once, before traffic)."""
+
+    def pacing_rate(self, now: float) -> float:
+        """Service-units per slot the host should currently send at."""
+        return self.rate
+
+    def wake_time(self, now: float) -> float:
+        """When a silenced (rate 0) source should re-check its rate.
+
+        Only consulted while :meth:`pacing_rate` returns 0; the default
+        of ``inf`` means "never" — a plain zero-rate controller is mute
+        forever.  On/off controllers return the end of the off phase.
+        """
+        return float("inf")
+
+    # -- feedback hooks --------------------------------------------------------
+
+    def on_sent(self, now: float, packet: Packet) -> None:
+        """The host emitted *packet* at *now*."""
+
+    def on_ack(self, now: float, packet: Packet, rtt: float) -> None:
+        """*packet* was delivered; the ack reached the sender at *now*."""
+
+    def on_loss(self, now: float, packet: Packet) -> None:
+        """*packet* was dropped at a full queue; sender learns at *now*."""

@@ -1,0 +1,96 @@
+"""The simulator's clock and heap-based event scheduler.
+
+Discrete-event core of :mod:`repro.netsim.sim`: a monotonic
+:class:`Clock` advanced only by the :class:`EventScheduler`, which pops
+``(time, sequence, callback)`` entries off a binary heap.  Two design
+rules make whole simulations bit-reproducible:
+
+* **Tie-breaking is total.**  Events scheduled for the same instant fire
+  in *scheduling* order — the heap key is ``(time, sequence)`` where
+  ``sequence`` is a monotonically increasing counter assigned when the
+  event is pushed, never the (non-deterministic) identity of the
+  callback.
+* **Time never runs backwards.**  Scheduling an event before the
+  current clock reading raises instead of silently reordering history.
+
+Time is unit-agnostic; :mod:`repro.netsim.sim` measures it in *probe
+slots* (one slot = one probe inter-departure interval).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Clock:
+    """Monotonic simulation time, advanced by the scheduler only."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        if time < self._now:
+            raise ValueError(
+                f"clock cannot run backwards: at {self._now}, asked for {time}"
+            )
+        self._now = time
+
+
+class EventScheduler:
+    """A heap of timestamped callbacks with deterministic tie-breaking."""
+
+    __slots__ = ("clock", "_heap", "_sequence", "events_dispatched")
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._sequence = 0
+        self.events_dispatched = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``callback(*args)`` at absolute *time*.
+
+        The callback receives no clock argument; read ``scheduler.now``
+        inside it (the clock has been advanced by dispatch time).
+        """
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule at {time}: clock already at {self.clock.now}"
+            )
+        heapq.heappush(self._heap, (float(time), self._sequence, callback, args))
+        self._sequence += 1
+
+    def run_until(self, horizon: float) -> None:
+        """Dispatch events in ``(time, sequence)`` order up to *horizon*.
+
+        Events stamped exactly at the horizon still fire; anything later
+        stays queued (the heap is reusable, though :mod:`repro.netsim.sim`
+        builds a fresh scheduler per snapshot).
+        """
+        heap = self._heap
+        clock = self.clock
+        while heap and heap[0][0] <= horizon:
+            time, _, callback, args = heapq.heappop(heap)
+            clock.advance_to(time)
+            self.events_dispatched += 1
+            callback(*args)
+
+    def run_until_idle(self) -> None:
+        """Dispatch until no events remain."""
+        self.run_until(float("inf"))

@@ -1,0 +1,202 @@
+"""Traffic sources: paced hosts and the per-link probe tap.
+
+A :class:`Host` drives one flow along a fixed route of
+:class:`~repro.netsim.sim.link.SimLink`\\ s: it asks its congestion
+controller for the current pacing rate, feeds that into a token-bucket
+:class:`~repro.netsim.sim.pacer.Pacer`, and emits packets whenever a
+token is available, rescheduling itself for the bucket's next ready
+time.  Terminal packet outcomes come back through
+:meth:`Host.handle_delivery` / :meth:`Host.handle_drop` (invoked by the
+simulator's link callbacks) and are relayed to the controller after a
+reverse-path delay, closing the control loop.
+
+A :class:`ProbeTap` is the measurement-plane source: one tiny probe per
+slot through a single link, stamped with its slot index so the
+simulator can record the link's drop/delay realisation — the row of the
+``(num_links, num_probes)`` matrices the tomography pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.netsim.sim.cc.base import CongestionController
+from repro.netsim.sim.clock import EventScheduler
+from repro.netsim.sim.link import SimLink
+from repro.netsim.sim.pacer import Pacer
+from repro.netsim.sim.packet import Packet
+
+
+class Host:
+    """One congestion-controlled flow: controller -> pacer -> first link."""
+
+    __slots__ = (
+        "flow_id",
+        "route",
+        "cc",
+        "pacer",
+        "scheduler",
+        "packet_size",
+        "start_time",
+        "stop_time",
+        "ack_delay",
+        "packets_sent",
+        "acks",
+        "losses",
+        "_sequence",
+        "_running",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        route: Sequence[SimLink],
+        cc: CongestionController,
+        scheduler: EventScheduler,
+        packet_size: float = 1.0,
+        bucket: float = 2.0,
+        start_time: float = 0.0,
+        stop_time: float = float("inf"),
+        ack_delay: Optional[float] = None,
+    ) -> None:
+        if not route:
+            raise ValueError("a host needs a route of at least one link")
+        if packet_size <= 0:
+            raise ValueError(f"packet size must be positive, got {packet_size}")
+        self.flow_id = flow_id
+        self.route = tuple(route)
+        self.cc = cc
+        self.scheduler = scheduler
+        self.packet_size = float(packet_size)
+        self.start_time = float(start_time)
+        self.stop_time = float(stop_time)
+        # Reverse-path latency for acks and loss notifications: the
+        # forward propagation is simulated hop by hop, the return path is
+        # modelled as one lump (no reverse queueing).
+        if ack_delay is None:
+            ack_delay = sum(link.delay for link in route) + 0.05
+        self.ack_delay = float(ack_delay)
+        self.pacer = Pacer(
+            rate=max(cc.pacing_rate(start_time), 0.0),
+            bucket=max(bucket, packet_size),
+            start=start_time,
+        )
+        self.packets_sent = 0
+        self.acks = 0
+        self.losses = 0
+        self._sequence = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("host already started")
+        self._running = True
+        self.scheduler.schedule(self.start_time, self._emit)
+
+    # -- emission loop ---------------------------------------------------------
+
+    def _emit(self) -> None:
+        now = self.scheduler.now
+        if now >= self.stop_time:
+            return
+        rate = self.cc.pacing_rate(now)
+        if rate <= 0.0:
+            wake = self.cc.wake_time(now)
+            if wake != float("inf"):
+                self.scheduler.schedule(
+                    min(max(wake, now), self.stop_time), self._emit
+                )
+            return
+        self.pacer.set_rate(rate, now)
+        if self.pacer.try_send(now, self.packet_size):
+            packet = Packet(
+                flow_id=self.flow_id,
+                sequence=self._sequence,
+                route=self.route,
+                sent_at=now,
+                size=self.packet_size,
+            )
+            self._sequence += 1
+            self.packets_sent += 1
+            self.cc.on_sent(now, packet)
+            self.route[0].enqueue(packet)
+        next_time = self.pacer.ready_time(now, self.packet_size)
+        if next_time == float("inf"):
+            next_time = now + self.packet_size  # rate hit 0 mid-refill; re-poll
+        self.scheduler.schedule(min(next_time, self.stop_time), self._emit)
+
+    # -- feedback (invoked by the simulator's link callbacks) ------------------
+
+    def handle_delivery(self, packet: Packet, now: float) -> None:
+        self.scheduler.schedule(now + self.ack_delay, self._ack, packet)
+
+    def handle_drop(self, packet: Packet, link: SimLink, now: float) -> None:
+        self.scheduler.schedule(now + self.ack_delay, self._loss, packet)
+
+    def _ack(self, packet: Packet) -> None:
+        now = self.scheduler.now
+        self.acks += 1
+        self.cc.on_ack(now, packet, now - packet.sent_at)
+
+    def _loss(self, packet: Packet) -> None:
+        self.losses += 1
+        self.cc.on_loss(self.scheduler.now, packet)
+
+
+class ProbeTap:
+    """One probe per slot through one link, slot-stamped for recording.
+
+    The tap realises Assumption S.1 *structurally*: every path crossing
+    the link observes this single per-slot realisation, produced by the
+    shared queue itself rather than by a sampled process.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "link",
+        "num_probes",
+        "phase",
+        "probe_size",
+        "scheduler",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        link: SimLink,
+        num_probes: int,
+        scheduler: EventScheduler,
+        phase: float = 0.0,
+        probe_size: float = 0.05,
+    ) -> None:
+        if num_probes <= 0:
+            raise ValueError(f"num_probes must be positive, got {num_probes}")
+        if not 0.0 <= phase < 1.0:
+            raise ValueError(f"phase must lie in [0, 1), got {phase}")
+        if probe_size <= 0:
+            raise ValueError(f"probe size must be positive, got {probe_size}")
+        self.flow_id = flow_id
+        self.link = link
+        self.num_probes = int(num_probes)
+        self.phase = float(phase)
+        self.probe_size = float(probe_size)
+        self.scheduler = scheduler
+
+    def start(self) -> None:
+        self.scheduler.schedule(self.phase, self._emit, 0)
+
+    def _emit(self, slot: int) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            sequence=slot,
+            route=(self.link,),
+            sent_at=self.scheduler.now,
+            size=self.probe_size,
+            probe_slot=slot,
+        )
+        self.link.enqueue(packet)
+        if slot + 1 < self.num_probes:
+            self.scheduler.schedule(self.phase + slot + 1, self._emit, slot + 1)
+
+
+DeliveryDispatcher = Callable[[Packet, float], None]

@@ -377,6 +377,96 @@ class TestScenario:
             scenario.evaluate(prepared, campaign)
 
 
+class TestScenarioSpec:
+    """Scenario.spec()/from_spec(): the declarative JSON round-trip."""
+
+    def _scenario(self, **overrides):
+        from repro.lossmodel import GilbertProcess
+
+        params = scale_params("tiny")
+        fields = dict(
+            topology="tree",
+            params=params,
+            prober=ProberConfig(
+                probes_per_snapshot=200, congestion_probability=0.12
+            ),
+            model=LLRD1,
+            process=GilbertProcess(stay_bad=0.5),
+            training_grid=(3, 6),
+            estimators=(
+                EstimatorSpec("lia"),
+                EstimatorSpec("scfs", {"link_threshold": 0.002}),
+            ),
+            campaign_salt=4,
+        )
+        fields.update(overrides)
+        return Scenario(**fields)
+
+    def test_json_round_trip(self):
+        import json
+
+        scenario = self._scenario()
+        spec = json.loads(json.dumps(scenario.spec()))
+        rebuilt = Scenario.from_spec(spec)
+        assert rebuilt.spec() == scenario.spec()
+
+    def test_congestion_traffic_round_trips(self):
+        import json
+
+        from repro.netsim.sim import TrafficConfig
+
+        scenario = self._scenario(
+            process=None,
+            traffic=TrafficConfig(kind="congestion", buffer_packets=8),
+        )
+        spec = json.loads(json.dumps(scenario.spec()))
+        rebuilt = Scenario.from_spec(spec)
+        assert rebuilt.traffic == scenario.traffic
+        assert rebuilt.spec() == scenario.spec()
+
+    def test_rebuilt_scenario_is_seed_identical(self):
+        scenario = self._scenario()
+        rebuilt = Scenario.from_spec(scenario.spec())
+        a = scenario.run(seed=17)
+        b = rebuilt.run(seed=17)
+        for m in (3, 6):
+            assert a.evaluation("lia", m).detection == b.evaluation(
+                "lia", m
+            ).detection
+
+    def test_custom_model_round_trips_by_fields(self):
+        from dataclasses import replace
+
+        custom = replace(LLRD1, name="custom-model")
+        scenario = self._scenario(model=custom)
+        rebuilt = Scenario.from_spec(scenario.spec())
+        assert rebuilt.model == custom
+
+    def test_congestion_traffic_excludes_explicit_process(self):
+        from repro.netsim.sim import TrafficConfig
+
+        with pytest.raises(ValueError, match="its own loss process"):
+            self._scenario(traffic=TrafficConfig(kind="congestion"))
+
+    def test_hooks_and_custom_processes_refuse_to_serialise(self):
+        from repro.lossmodel import CongestionLossProcess
+
+        scenario = self._scenario(
+            propensities=lambda prepared, seed: np.zeros(1)
+        )
+        with pytest.raises(ValueError, match="cannot be serialised"):
+            scenario.spec()
+        process = CongestionLossProcess([(0,)], 2)
+        with pytest.raises(ValueError, match="no\\s+declarative form"):
+            self._scenario(process=process).spec()
+
+    def test_from_spec_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown loss-rate model"):
+            Scenario.from_spec({"model": "nope"})
+        with pytest.raises(ValueError, match="unknown loss process"):
+            Scenario.from_spec({"process": {"kind": "laplace"}})
+
+
 class TestDistributed:
     """DistributedEstimator: wire fidelity + one kept-column group per shard."""
 

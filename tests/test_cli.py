@@ -79,6 +79,42 @@ class TestSimulateInfer:
         count = int(out.split(" links above")[0].rsplit(" ", 1)[-1])
         assert count >= 1
 
+    def test_congestion_traffic_round_trip(self, tmp_path, capsys):
+        """simulate --traffic congestion -> compare, the CI smoke path."""
+        doc = tmp_path / "congested.json"
+        code = main(
+            [
+                "simulate", "--topology", "tree", "--size", "40",
+                "--hosts", "8", "--snapshots", "6", "--probes", "200",
+                "--traffic", "congestion", "--seed", "5", "--out", str(doc),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["compare", str(doc), "--methods", "lia,scfs"]) == 0
+        out = capsys.readouterr().out
+        assert "lia:" in out and "links flagged" in out
+
+    def test_congestion_traffic_is_seed_deterministic(self, tmp_path):
+        import json
+
+        docs = []
+        for name in ("a.json", "b.json"):
+            doc = tmp_path / name
+            assert (
+                main(
+                    [
+                        "simulate", "--topology", "tree", "--size", "40",
+                        "--hosts", "8", "--snapshots", "4", "--probes", "150",
+                        "--traffic", "congestion", "--seed", "9",
+                        "--out", str(doc),
+                    ]
+                )
+                == 0
+            )
+            docs.append(json.loads(doc.read_text()))
+        assert docs[0] == docs[1]
+
     def test_internet_model_and_propensity(self, tmp_path):
         doc = tmp_path / "c.json"
         code = main(
@@ -163,16 +199,19 @@ class TestExperimentsVerb:
             LOSS_METHOD_CHOICES,
             METHOD_CHOICES,
             SCALE_CHOICES,
+            TRAFFIC_CHOICES,
             VARIANCE_SOLVER_CHOICES,
         )
         from repro.core.variance import VARIANCE_METHODS
         from repro.experiments import EXPERIMENTS, SCALES
+        from repro.netsim.sim import TRAFFIC_KINDS
 
         assert sorted(EXPERIMENT_CHOICES) == sorted(EXPERIMENTS)
         assert SCALE_CHOICES == SCALES
         assert METHOD_CHOICES == registry.available()
         assert set(LOSS_METHOD_CHOICES) == set(METHOD_CHOICES) - {"delay"}
         assert VARIANCE_SOLVER_CHOICES == VARIANCE_METHODS
+        assert TRAFFIC_CHOICES == TRAFFIC_KINDS
 
     def test_timing_routes_through_runner(self, capsys):
         # timing is one (non-cacheable) trial through the runner now, so
@@ -225,6 +264,52 @@ class TestExperimentsVerb:
         assert len(spills) == 1
         # one JSONL record per trial
         assert len(spills[0].read_text().splitlines()) == 2
+
+    def test_congestion_experiment_is_backend_deterministic(
+        self, tmp_path, capsys
+    ):
+        """Same seed, serial vs process backend, byte-identical payloads.
+
+        The packet simulator's whole determinism contract in one test:
+        each trial's drop realisations are a pure function of the trial
+        seed, so the result stores diff clean across backends
+        (scripts/diff_result_stores.py, the same check used in CI).
+        """
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        stores = {}
+        outputs = {}
+        for label, extra in (
+            ("serial", ["--jobs", "1"]),
+            ("process", ["--jobs", "2", "--backend", "process"]),
+        ):
+            store = tmp_path / label
+            argv = [
+                "experiments", "congestion", "--scale", "tiny", "--seed", "0",
+                "--store-dir", str(store),
+            ] + extra
+            assert main(argv) == 0
+            outputs[label] = capsys.readouterr().out
+            spills = list(store.glob("congestion-*.jsonl"))
+            assert len(spills) == 1
+            stores[label] = spills[0]
+        # rendered tables agree ...
+        assert (
+            outputs["serial"].split("[congestion")[0]
+            == outputs["process"].split("[congestion")[0]
+        )
+        # ... and so does every stored trial payload, byte for byte
+        script = Path(__file__).resolve().parents[1] / "scripts"
+        proc = subprocess.run(
+            [
+                sys.executable, str(script / "diff_result_stores.py"),
+                str(stores["serial"]), str(stores["process"]),
+            ],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
 
     def test_bad_backend_rejected(self, capsys):
         with pytest.raises(SystemExit):

@@ -21,6 +21,7 @@ class TestHarnessPlumbing:
         expected = {
             "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
             "table2", "table3", "timing", "duration", "ablations",
+            "congestion",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.lossmodel import BernoulliProcess, GilbertProcess
+from repro.lossmodel import (
+    STREAMING_CHUNK,
+    STREAMING_PROBE_THRESHOLD,
+    BernoulliProcess,
+    GilbertProcess,
+)
 
 
 class TestGilbert:
@@ -97,3 +102,54 @@ class TestBernoulli:
         lag1 = np.corrcoef(states[:-1], states[1:])[0, 1]
         expected = 0.35 - 0.65 * 0.3 / 0.7
         assert lag1 == pytest.approx(expected, abs=0.02)
+
+
+class TestStreamingFractions:
+    """The chunked fraction path above STREAMING_PROBE_THRESHOLD."""
+
+    RATES = np.array([0.0, 0.02, 0.1, 0.4])
+
+    def test_gilbert_chunks_are_bit_identical_to_states(self):
+        process = GilbertProcess()
+        probes = 5000
+        full = process.sample_states(self.RATES, probes, seed=7)
+        for chunk_size in (512, 1000, probes):
+            blocks = list(
+                process.iter_state_chunks(
+                    self.RATES, probes, seed=7, chunk_size=chunk_size
+                )
+            )
+            assert sum(b.shape[1] for b in blocks) == probes
+            assert np.array_equal(np.concatenate(blocks, axis=1), full)
+
+    def test_streamed_fractions_equal_materialised_means(self):
+        probes = STREAMING_PROBE_THRESHOLD + 3 * STREAMING_CHUNK + 17
+        process = GilbertProcess()
+        fractions = process.sample_loss_fractions(self.RATES, probes, seed=5)
+        states = process.sample_states(self.RATES, probes, seed=5)
+        assert np.array_equal(fractions, states.mean(axis=1))
+
+    def test_below_threshold_materialises(self):
+        """At or below the threshold the old exact path is untouched."""
+        process = GilbertProcess()
+        fractions = process.sample_loss_fractions(
+            self.RATES, STREAMING_PROBE_THRESHOLD, seed=3
+        )
+        states = process.sample_states(
+            self.RATES, STREAMING_PROBE_THRESHOLD, seed=3
+        )
+        assert np.array_equal(fractions, states.mean(axis=1))
+
+    def test_default_iterator_is_one_block(self):
+        """The base-class fallback yields the whole realisation at once."""
+
+        class OneShot(BernoulliProcess):
+            pass
+
+        # BernoulliProcess overrides sample_loss_fractions with the
+        # binomial shortcut; the inherited chunk iterator must still be
+        # the single-block default.
+        blocks = list(
+            OneShot().iter_state_chunks(self.RATES, 6000, seed=1)
+        )
+        assert len(blocks) == 1 and blocks[0].shape == (4, 6000)

@@ -178,3 +178,35 @@ class TestGilbertProperties:
             np.array([rate]), 30_000, seed=seed
         )
         assert states.mean() == pytest.approx(rate, abs=0.05)
+
+    @FAST
+    @given(
+        rate=st.floats(min_value=0.05, max_value=0.6),
+        stay_bad=st.floats(min_value=0.05, max_value=0.8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_long_run_fraction_converges_for_any_chain(self, rate, stay_bad, seed):
+        """The stationary loss fraction hits the target for every chain."""
+        process = GilbertProcess(stay_bad=stay_bad)
+        states = process.sample_states(np.array([rate]), 50_000, seed=seed)
+        assert states.mean() == pytest.approx(rate, abs=0.05)
+
+    @FAST
+    @given(
+        rate=st.floats(min_value=0.1, max_value=0.5),
+        stay_bad=st.floats(min_value=0.1, max_value=0.7),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_mean_burst_length_matches_chain_expectation(
+        self, rate, stay_bad, seed
+    ):
+        """Empirical bad-run length ~ 1/(1 - stay_bad), the chain mean."""
+        process = GilbertProcess(stay_bad=stay_bad)
+        states = process.sample_states(np.array([rate]), 120_000, seed=seed)[0]
+        padded = np.concatenate(([False], states, [False])).astype(np.int8)
+        edges = np.diff(padded)
+        run_lengths = np.flatnonzero(edges == -1) - np.flatnonzero(edges == 1)
+        assert run_lengths.size > 50  # enough bursts to average
+        assert np.mean(run_lengths) == pytest.approx(
+            process.burst_length_mean(), rel=0.15
+        )

@@ -46,6 +46,23 @@ def load_means(path: str) -> "dict[str, float]":
     }
 
 
+def update_speedups(means: "dict[str, float]") -> "list[tuple[str, float, float, float]]":
+    """Pair ``*_update_path`` benchmarks with their ``*_refactor_path`` twins.
+
+    Returns ``(update_name, update_mean, refactor_mean, speedup)`` rows:
+    the incremental-cache win (refactor time / update time) within one
+    kernel tier, from the monitor growth benchmarks.
+    """
+    rows = []
+    for name in sorted(means):
+        if "update_path" not in name:
+            continue
+        twin = name.replace("update_path", "refactor_path")
+        if twin in means and means[name] > 0:
+            rows.append((name, means[name], means[twin], means[twin] / means[name]))
+    return rows
+
+
 def write_step_summary(shared: "list[str]", numpy_means, numba_means) -> None:
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -63,6 +80,24 @@ def write_step_summary(shared: "list[str]", numpy_means, numba_means) -> None:
             f"| `{name}` | {np_time * 1e3:.2f} ms | {nb_time * 1e3:.2f} ms | "
             f"{speedup:.2f}x |"
         )
+    tier_rows = [
+        (tier, row)
+        for tier, means in (("numpy", numpy_means), ("numba", numba_means))
+        for row in update_speedups(means)
+    ]
+    if tier_rows:
+        lines += [
+            "",
+            "### Incremental update vs refactor-from-scratch",
+            "",
+            "| benchmark | tier | update | refactor | speedup |",
+            "|---|---|---:|---:|---:|",
+        ]
+        for tier, (name, upd, ref, speedup) in tier_rows:
+            lines.append(
+                f"| `{name}` | {tier} | {upd * 1e3:.2f} ms | "
+                f"{ref * 1e3:.2f} ms | {speedup:.2f}x |"
+            )
     lines += [""]
     with open(path, "a", encoding="utf-8") as handle:
         handle.write("\n".join(lines))
@@ -90,6 +125,13 @@ def main(argv=None) -> int:
             f"{name:<{width}}  {np_time:>9.4f}s  {nb_time:>9.4f}s  "
             f"{speedup:>6.2f}x"
         )
+
+    for tier, means in (("numpy", numpy_means), ("numba", numba_means)):
+        for name, upd, ref, speedup in update_speedups(means):
+            print(
+                f"incremental vs refactor [{tier}] {name}: "
+                f"{upd:.4f}s vs {ref:.4f}s = {speedup:.2f}x"
+            )
 
     write_step_summary(shared, numpy_means, numba_means)
     return 0

@@ -25,14 +25,20 @@ caches through it.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import linalg as scipy_linalg
 from scipy import sparse
 
 from repro.core.augmented import IntersectingPairs, intersecting_pairs
-from repro.core.linalg import QRFactorization, solve_upper_triangular
+from repro.core.kernels import get_kernels
+from repro.core.linalg import (
+    IncrementalColumnBasis,
+    QRFactorization,
+    solve_upper_triangular,
+)
 from repro.core.sparse_solvers import solve_normal_sparse
 from repro.core.reduction import (
     REDUCTION_STRATEGIES,
@@ -69,6 +75,31 @@ class LIAResult:
         return self.loss_rates > threshold
 
 
+@dataclass(frozen=True)
+class CacheInfo:
+    """One engine cache's counters, in ``functools``-style spirit.
+
+    ``updates`` counts requests absorbed by an incremental update
+    (column adds for the factorization cache, sweep-free reuse for the
+    reduction cache), ``downdates`` by Givens column removals;
+    ``misses`` are the requests that paid full price.
+    ``resident_bytes`` tracks the arrays the cache keeps alive (shared
+    arrays between entries are counted once per entry, a deliberate
+    overcount that keeps the byte budget conservative).
+    """
+
+    hits: int
+    misses: int
+    updates: int
+    downdates: int
+    evictions: int
+    entries: int
+    resident_bytes: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
 class FactorizationCache:
     """LRU cache of thin QR factorizations of kept-column blocks ``R*``.
 
@@ -85,19 +116,38 @@ class FactorizationCache:
     Givens rotations
     (:meth:`~repro.core.linalg.QRFactorization.remove_column`) instead
     of refactorizing from scratch: O(m k) per removed column versus
-    O(m k^2) for a fresh QR.  The downdated factors equal a fresh QR
-    only to working precision, so the default is 0 (off) and long-lived
+    O(m k^2) for a fresh QR.  ``update_limit > 0`` is the mirror-image
+    grow direction — a kept set that is a *superset* of a cached one is
+    served by CGS2 column adds
+    (:meth:`~repro.core.linalg.QRFactorization.add_column`) — covering
+    the congestion-churn pattern where links re-enter the kept set.
+    Updated/downdated factors equal a fresh QR only to working
+    precision, so both limits default to 0 (off) and long-lived
     consumers (:class:`repro.monitor.OnlineLossMonitor`) opt in; batch
     experiment pipelines stay bit-identical to a cold engine.
+
+    *max_bytes*, when set, bounds the bytes resident across cached
+    ``Q``/``R`` factors: least-recently-used entries are evicted past
+    either the entry or the byte budget (at least one entry always
+    stays, so the working set never thrashes to nothing).
     """
 
     def __init__(
-        self, matrix, max_entries: int = 8, downdate_limit: int = 0
+        self,
+        matrix,
+        max_entries: int = 8,
+        downdate_limit: int = 0,
+        update_limit: int = 0,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         if downdate_limit < 0:
             raise ValueError("downdate_limit must be non-negative")
+        if update_limit < 0:
+            raise ValueError("update_limit must be non-negative")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None)")
         if sparse.issparse(matrix):
             self._matrix = matrix.tocsc().astype(np.float64)
         else:
@@ -107,10 +157,15 @@ class FactorizationCache:
             self._matrix = sparse.csc_matrix(dense)
         self.max_entries = max_entries
         self.downdate_limit = downdate_limit
+        self.update_limit = update_limit
+        self.max_bytes = max_bytes
         self._cache: "OrderedDict[bytes, QRFactorization]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.updates = 0
         self.downdates = 0
+        self.evictions = 0
+        self._resident_bytes = 0
 
     @property
     def num_rows(self) -> int:
@@ -123,10 +178,51 @@ class FactorizationCache:
     def __len__(self) -> int:
         return len(self._cache)
 
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes held by cached ``Q``/``R`` factors."""
+        return self._resident_bytes
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            updates=self.updates,
+            downdates=self.downdates,
+            evictions=self.evictions,
+            entries=len(self._cache),
+            resident_bytes=self._resident_bytes,
+        )
+
     def block(self, kept: np.ndarray) -> np.ndarray:
         """The dense kept-column block ``R*`` (never the full matrix)."""
         kept = np.asarray(kept, dtype=np.int64)
         return np.asarray(self._matrix[:, kept].todense(), dtype=np.float64)
+
+    def column(self, index: int) -> np.ndarray:
+        """One dense matrix column (for incremental factorization adds)."""
+        out = np.zeros(self.num_rows, dtype=np.float64)
+        start, end = self._matrix.indptr[index], self._matrix.indptr[index + 1]
+        out[self._matrix.indices[start:end]] = self._matrix.data[start:end]
+        return out
+
+    @staticmethod
+    def _entry_bytes(factorization: QRFactorization) -> int:
+        return int(factorization.q.nbytes + factorization.r.nbytes)
+
+    def _store(self, key: bytes, factorization: QRFactorization) -> None:
+        self._cache[key] = factorization
+        self._resident_bytes += self._entry_bytes(factorization)
+        while len(self._cache) > 1 and (
+            len(self._cache) > self.max_entries
+            or (
+                self.max_bytes is not None
+                and self._resident_bytes > self.max_bytes
+            )
+        ):
+            _, evicted = self._cache.popitem(last=False)
+            self._resident_bytes -= self._entry_bytes(evicted)
+            self.evictions += 1
 
     def factorization(self, kept: np.ndarray) -> QRFactorization:
         """The (cached) thin QR of ``R*`` for this kept-column set."""
@@ -141,13 +237,15 @@ class FactorizationCache:
         if factorization is not None:
             self.downdates += 1
         else:
-            self.misses += 1
-            factorization = QRFactorization.factorize(
-                self.block(kept), columns=kept
-            )
-        self._cache[key] = factorization
-        while len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
+            factorization = self._update_from_subset(kept)
+            if factorization is not None:
+                self.updates += 1
+            else:
+                self.misses += 1
+                factorization = QRFactorization.factorize(
+                    self.block(kept), columns=kept
+                )
+        self._store(key, factorization)
         return factorization
 
     def _downdate_from_superset(
@@ -187,6 +285,88 @@ class FactorizationCache:
             return None  # numerically degraded; fall back to a fresh QR
         return factorization
 
+    def _update_from_subset(
+        self, kept: np.ndarray
+    ) -> Optional[QRFactorization]:
+        """Column-add a cached subset factorization, if one is close.
+
+        The mirror image of :meth:`_downdate_from_superset`: scans
+        most-recently-used first for a full-rank cached factorization
+        whose column set is contained in *kept* missing at most
+        ``update_limit`` columns; the best (fewest-missing) candidate is
+        grown one CGS2 column offer at a time.  Returns ``None`` when no
+        candidate exists, a missing column turns out (numerically)
+        dependent, or the grown column order cannot match *kept* — the
+        caller then refactorizes from scratch.
+        """
+        if self.update_limit == 0 or not len(self._cache):
+            return None
+        wanted = tuple(int(c) for c in kept)
+        wanted_set = set(wanted)
+        best: Optional[QRFactorization] = None
+        for candidate in reversed(self._cache.values()):
+            missing = len(wanted) - len(candidate.columns)
+            if not 0 < missing <= self.update_limit:
+                continue
+            if best is not None and missing >= len(wanted) - len(best.columns):
+                continue
+            if wanted_set.issuperset(candidate.columns) and candidate.full_rank:
+                best = candidate
+                if missing == 1:
+                    break
+        if best is None:
+            return None
+        factorization = best
+        for column in sorted(wanted_set.difference(best.columns)):
+            position = int(
+                np.searchsorted(
+                    np.asarray(factorization.columns, dtype=np.int64), column
+                )
+            )
+            try:
+                factorization = factorization.add_column(
+                    self.column(column), column, position
+                )
+            except scipy_linalg.LinAlgError:
+                return None  # dependent column; fall back to a fresh QR
+        if factorization.columns != wanted:
+            # The engine's kept arrays are sorted, so sorted-position
+            # inserts reproduce them; a hand-built unsorted request
+            # cannot be matched by updating.
+            return None
+        if not factorization.is_full_rank():
+            return None  # numerically degraded; fall back to a fresh QR
+        return factorization
+
+
+@dataclass
+class _ReductionEntry:
+    """One memoized reduction plus the state incremental reuse needs.
+
+    ``candidates`` is the threshold strategy's descending-variance scan
+    order (``None`` for other strategies or when incremental reuse is
+    off), ``all_accepted`` whether the basis sweep kept every candidate,
+    and ``basis`` the orthonormal basis the sweep built (kept only when
+    all candidates were accepted — the precondition for serving a grown
+    candidate set with a handful of CGS2 offers).
+    """
+
+    result: ReductionResult
+    candidates: Optional[np.ndarray] = None
+    all_accepted: bool = False
+    basis: Optional[np.ndarray] = None
+
+    @property
+    def nbytes(self) -> int:
+        total = (
+            self.result.kept_columns.nbytes + self.result.removed_columns.nbytes
+        )
+        if self.candidates is not None:
+            total += self.candidates.nbytes
+        if self.basis is not None:
+            total += self.basis.nbytes
+        return int(total)
+
 
 class ReductionCache:
     """LRU memo of phase-2 column reductions for one routing matrix.
@@ -197,19 +377,78 @@ class ReductionCache:
     by :class:`InferenceEngine` and the delay layer
     (:class:`repro.delay.inference.DelayInferenceAlgorithm`), which used
     to reimplement the same memoized kept-column selection by hand.
+
+    With ``reuse_limit > 0`` the ``"threshold"`` strategy also reuses
+    *across* variance vectors: a refresh whose above-cutoff candidate
+    set matches a cached one reuses its sweep outright; a candidate set
+    that shrank by at most ``reuse_limit`` columns from a cached
+    all-accepted sweep keeps the remaining candidates without any sweep
+    (a subset of an independent set is independent); one that *grew* by
+    at most ``reuse_limit`` columns offers only the new columns against
+    the cached orthonormal basis — O(n_p k) per new link instead of the
+    O(n_p k^2) full basis sweep.  Near the 1e-9 independence tolerance
+    the offer order can differ from a cold sweep's, so reuse defaults to
+    0 (off) and only long-lived monitors opt in; batch pipelines stay
+    bit-identical.
     """
 
-    def __init__(self, matrix, max_entries: int = 8) -> None:
+    def __init__(
+        self,
+        matrix,
+        max_entries: int = 8,
+        reuse_limit: int = 0,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if reuse_limit < 0:
+            raise ValueError("reuse_limit must be non-negative")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None)")
         self._matrix = matrix
         self.max_entries = max_entries
-        self._cache: "OrderedDict[Tuple[str, bytes, Optional[float]], ReductionResult]" = (
+        self.reuse_limit = reuse_limit
+        self.max_bytes = max_bytes
+        self._cache: "OrderedDict[Tuple[str, bytes, Optional[float]], _ReductionEntry]" = (
             OrderedDict()
         )
+        self.hits = 0
+        self.misses = 0
+        self.updates = 0
+        self.evictions = 0
+        self._resident_bytes = 0
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            updates=self.updates,
+            downdates=0,
+            evictions=self.evictions,
+            entries=len(self._cache),
+            resident_bytes=self._resident_bytes,
+        )
+
+    def _store(self, key, entry: _ReductionEntry) -> None:
+        self._cache[key] = entry
+        self._resident_bytes += entry.nbytes
+        while len(self._cache) > 1 and (
+            len(self._cache) > self.max_entries
+            or (
+                self.max_bytes is not None
+                and self._resident_bytes > self.max_bytes
+            )
+        ):
+            _, evicted = self._cache.popitem(last=False)
+            self._resident_bytes -= evicted.nbytes
+            self.evictions += 1
 
     def reduce(
         self,
@@ -222,18 +461,174 @@ class ReductionCache:
         key = (strategy, variances.tobytes(), variance_cutoff)
         cached = self._cache.get(key)
         if cached is not None:
+            self.hits += 1
             self._cache.move_to_end(key)
-            return cached
-        reduction = reduce_to_full_rank(
-            self._matrix,
-            variances,
-            strategy=strategy,
-            variance_cutoff=variance_cutoff,
+            return cached.result
+        entry = None
+        if (
+            self.reuse_limit
+            and strategy == "threshold"
+            and variance_cutoff is not None
+            and variance_cutoff > 0
+        ):
+            candidates = self._threshold_candidates(variances, variance_cutoff)
+            entry = self._reuse(candidates)
+            if entry is not None:
+                self.updates += 1
+            else:
+                self.misses += 1
+                entry = self._threshold_sweep(candidates)
+        if entry is None:
+            self.misses += 1
+            entry = _ReductionEntry(
+                result=reduce_to_full_rank(
+                    self._matrix,
+                    variances,
+                    strategy=strategy,
+                    variance_cutoff=variance_cutoff,
+                )
+            )
+        self._store(key, entry)
+        return entry.result
+
+    # -- threshold-strategy incremental reuse --------------------------------
+
+    def _threshold_candidates(
+        self, variances: np.ndarray, variance_cutoff: float
+    ) -> np.ndarray:
+        """The threshold strategy's exact candidate scan order.
+
+        Must reproduce ``reduce_to_full_rank``: descending variance,
+        ties broken by ascending column index, filtered to variances
+        strictly above the cutoff.
+        """
+        ascending = np.lexsort((np.arange(len(variances)), variances))
+        descending = ascending[::-1]
+        return np.asarray(
+            descending[variances[descending] > variance_cutoff],
+            dtype=np.int64,
         )
-        self._cache[key] = reduction
-        while len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
-        return reduction
+
+    def _result_for(self, kept) -> ReductionResult:
+        num_cols = int(self._matrix.shape[1])
+        kept_arr = np.array(sorted(int(c) for c in kept), dtype=np.int64)
+        removed = np.setdiff1d(np.arange(num_cols, dtype=np.int64), kept_arr)
+        return ReductionResult(
+            kept_columns=kept_arr, removed_columns=removed, strategy="threshold"
+        )
+
+    def _threshold_sweep(self, candidates: np.ndarray) -> _ReductionEntry:
+        """The cold basis sweep, keeping the basis for later grow reuse.
+
+        Decision-identical to ``reduce_to_full_rank``'s threshold path
+        (same :class:`IncrementalColumnBasis` offers in the same order).
+        """
+        num_rows = int(self._matrix.shape[0])
+        basis = IncrementalColumnBasis(dimension=num_rows)
+        kept: List[int] = []
+        for col in candidates:
+            if basis.try_add(self._column(int(col))):
+                kept.append(int(col))
+        all_accepted = len(kept) == len(candidates)
+        return _ReductionEntry(
+            result=self._result_for(kept),
+            candidates=candidates,
+            all_accepted=all_accepted,
+            basis=np.array(basis.basis_matrix) if all_accepted else None,
+        )
+
+    def _reuse(self, candidates: np.ndarray) -> Optional[_ReductionEntry]:
+        """Serve a new candidate set from a cached sweep, if one is close."""
+        cand_key = candidates.tobytes()
+        cand_set = set(int(c) for c in candidates)
+        for entry in reversed(self._cache.values()):
+            if entry.candidates is None:
+                continue
+            if entry.candidates.tobytes() == cand_key:
+                # Identical scan — identical sweep, basis and all.
+                return entry
+            if not entry.all_accepted:
+                continue
+            entry_set = set(int(c) for c in entry.candidates)
+            shrunk = len(entry_set) - len(cand_set)
+            if 0 < shrunk <= self.reuse_limit and cand_set <= entry_set:
+                # A subset of an independent set is independent: every
+                # candidate survives the sweep without running it.  (The
+                # subset's basis is not cheaply derivable, so grow reuse
+                # from this entry is unavailable.)
+                return _ReductionEntry(
+                    result=self._result_for(cand_set),
+                    candidates=candidates,
+                    all_accepted=True,
+                    basis=None,
+                )
+            grown = len(cand_set) - len(entry_set)
+            if (
+                0 < grown <= self.reuse_limit
+                and entry.basis is not None
+                and entry_set <= cand_set
+            ):
+                grown_entry = self._grow(entry, sorted(cand_set - entry_set))
+                if grown_entry is not None:
+                    grown_entry.candidates = candidates
+                    return grown_entry
+        return None
+
+    def _grow(
+        self, entry: _ReductionEntry, extras: List[int]
+    ) -> Optional[_ReductionEntry]:
+        """Offer *extras* against a cached basis; None on any rejection.
+
+        If every extra column enlarges the span then the grown candidate
+        set is linearly independent, and a cold sweep — in any scan
+        order — would keep all of it.  A rejection means the cold sweep
+        could keep a different subset, so fall back to running it.
+        """
+        basis_cols = entry.basis
+        rank = basis_cols.shape[1]
+        storage = np.empty(
+            (basis_cols.shape[0], rank + len(extras)), dtype=np.float64
+        )
+        storage[:, :rank] = basis_cols
+        kern = get_kernels()
+        for column in extras:
+            col = self._column(column)
+            norm0 = float(np.linalg.norm(col))
+            if norm0 == 0.0:
+                return None
+            v = kern.cgs2_project(storage, rank, col) if rank else col
+            norm1 = float(np.linalg.norm(v))
+            if norm1 <= 1e-9 * norm0:
+                return None
+            storage[:, rank] = v / norm1
+            rank += 1
+        kept = set(int(c) for c in entry.candidates) | set(extras)
+        return _ReductionEntry(
+            result=self._result_for(kept),
+            all_accepted=True,
+            basis=storage,
+        )
+
+    def _column(self, index: int) -> np.ndarray:
+        """One dense routing-matrix column (for the incremental offers)."""
+        matrix = self._csc
+        out = np.zeros(int(matrix.shape[0]), dtype=np.float64)
+        start, end = matrix.indptr[index], matrix.indptr[index + 1]
+        out[matrix.indices[start:end]] = matrix.data[start:end]
+        return out
+
+    @property
+    def _csc(self):
+        csc = getattr(self, "_csc_matrix", None)
+        if csc is None:
+            if sparse.issparse(self._matrix):
+                csc = self._matrix.tocsc().astype(np.float64)
+            else:
+                csc = sparse.csc_matrix(
+                    np.asarray(self._matrix, dtype=np.float64)
+                )
+            self._csc_matrix = csc
+        return csc
 
 
 class InferenceEngine:
@@ -243,6 +638,13 @@ class InferenceEngine:
     (which delegates here); see its docstring for the statistical
     meaning of each knob.  *max_cached_factorizations* bounds the
     kept-column-set LRU; the reduction memo is bounded to the same size.
+
+    *downdate_limit* / *update_limit* / *reduction_reuse_limit* enable
+    the incremental cache paths (Givens downdates, CGS2 column adds,
+    sweep-free reduction reuse) for kept-set changes of at most that
+    many columns; all default to 0 (off) so batch pipelines stay
+    bit-identical, and :class:`repro.monitor.OnlineLossMonitor` opts in.
+    *max_cache_bytes* byte-bounds each cache's resident arrays.
     """
 
     def __init__(
@@ -255,6 +657,10 @@ class InferenceEngine:
         congestion_threshold: float = 0.002,
         cutoff_scale: float = 16.0,
         max_cached_factorizations: int = 8,
+        downdate_limit: int = 0,
+        update_limit: int = 0,
+        reduction_reuse_limit: int = 0,
+        max_cache_bytes: Optional[int] = None,
     ) -> None:
         if variance_method not in VARIANCE_METHODS:
             raise ValueError(f"unknown variance method {variance_method!r}")
@@ -274,10 +680,17 @@ class InferenceEngine:
         self._pairs: Optional[IntersectingPairs] = None
         self._routing_sparse = routing.to_sparse()
         self._factorizations = FactorizationCache(
-            self._routing_sparse, max_entries=max_cached_factorizations
+            self._routing_sparse,
+            max_entries=max_cached_factorizations,
+            downdate_limit=downdate_limit,
+            update_limit=update_limit,
+            max_bytes=max_cache_bytes,
         )
         self._reductions = ReductionCache(
-            self._routing_sparse, max_entries=max_cached_factorizations
+            self._routing_sparse,
+            max_entries=max_cached_factorizations,
+            reuse_limit=reduction_reuse_limit,
+            max_bytes=max_cache_bytes,
         )
 
     # -- cached structures ----------------------------------------------------
@@ -299,6 +712,17 @@ class InferenceEngine:
     @property
     def factorization_cache(self) -> FactorizationCache:
         return self._factorizations
+
+    @property
+    def reduction_cache(self) -> ReductionCache:
+        return self._reductions
+
+    def cache_info(self) -> Dict[str, CacheInfo]:
+        """Counters of both engine caches, keyed by cache name."""
+        return {
+            "factorization": self._factorizations.cache_info(),
+            "reduction": self._reductions.cache_info(),
+        }
 
     # -- phase 1 ----------------------------------------------------------------
 
@@ -455,6 +879,22 @@ INFER_MANY_MODES = ("auto", "loop", "packed", "sparse")
 FOREST_PLAN_LIMIT = 4
 
 _forest_plans: "OrderedDict[Tuple, _ForestPlan]" = OrderedDict()
+_forest_plan_max_bytes: Optional[int] = None
+_forest_plan_bytes = 0
+
+
+def set_forest_plan_budget(max_bytes: Optional[int]) -> None:
+    """Byte-bound the forest-plan LRU (None removes the bound).
+
+    Complements :data:`FOREST_PLAN_LIMIT` the way the engine caches'
+    ``max_bytes`` complements their entry counts: whichever bound is hit
+    first evicts least-recently-used plans (the current plan always
+    survives).  Takes effect on the next :func:`infer_many` call.
+    """
+    global _forest_plan_max_bytes
+    if max_bytes is not None and max_bytes < 1:
+        raise ValueError("max_bytes must be positive (or None)")
+    _forest_plan_max_bytes = max_bytes
 
 
 def invalidate_forest_plans() -> None:
@@ -465,7 +905,9 @@ def invalidate_forest_plans() -> None:
     packed :func:`infer_many` call — identity-keyed plans cannot see
     in-place mutation.  Fresh objects get fresh plans automatically.
     """
+    global _forest_plan_bytes
     _forest_plans.clear()
+    _forest_plan_bytes = 0
 
 
 class _ForestPlan:
@@ -496,6 +938,7 @@ class _ForestPlan:
         "floors_expanded",
         "solves",
         "total_links",
+        "nbytes",
     )
 
     def __init__(
@@ -547,6 +990,22 @@ class _ForestPlan:
                 self.solves.append(
                     (p0, p1, scatter, None, None, eng._factorizations.block(kept))
                 )
+        # Arrays this plan keeps alive (the r/q_t views are shared with
+        # the engine caches; counting them here keeps the plan budget
+        # conservative), for the byte-bounded plan LRU.
+        total = (
+            self.offsets.nbytes
+            + self.path_counts.nbytes
+            + self.path_offsets.nbytes
+            + self.floors_expanded.nbytes
+        )
+        for _, _, scatter, r, q_t, block in self.solves:
+            total += scatter.nbytes
+            if r is not None:
+                total += r.nbytes + q_t.nbytes
+            else:
+                total += block.nbytes
+        self.nbytes = int(total)
 
     def log_rates(
         self,
@@ -595,11 +1054,15 @@ def _forest_plan(
     Keyed by per-tree (engine id, estimate id, probe count, floor knob);
     the cached plan's strong references keep those ids from being
     reused, which is what makes identity keying sound.  Engines with
-    factorization downdating enabled get a fresh plan every call — their
-    factorization cache is history-dependent, and a stored plan could
-    disagree with what a plain loop would see.
+    factorization downdating or updating enabled get a fresh plan every
+    call — their factorization cache is history-dependent, and a stored
+    plan could disagree with what a plain loop would see.
     """
-    if any(eng._factorizations.downdate_limit for eng, _, _ in runs):
+    global _forest_plan_bytes
+    if any(
+        eng._factorizations.downdate_limit or eng._factorizations.update_limit
+        for eng, _, _ in runs
+    ):
         return _ForestPlan(runs)
     key = tuple(
         (id(eng), id(est), snap.num_probes, eng.floor)
@@ -618,10 +1081,19 @@ def _forest_plan(
             _forest_plans.move_to_end(key)
             return plan
         del _forest_plans[key]
+        _forest_plan_bytes -= plan.nbytes
     plan = _ForestPlan(runs)
     _forest_plans[key] = plan
-    while len(_forest_plans) > FOREST_PLAN_LIMIT:
-        _forest_plans.popitem(last=False)
+    _forest_plan_bytes += plan.nbytes
+    while len(_forest_plans) > 1 and (
+        len(_forest_plans) > FOREST_PLAN_LIMIT
+        or (
+            _forest_plan_max_bytes is not None
+            and _forest_plan_bytes > _forest_plan_max_bytes
+        )
+    ):
+        _, evicted = _forest_plans.popitem(last=False)
+        _forest_plan_bytes -= evicted.nbytes
     return plan
 
 

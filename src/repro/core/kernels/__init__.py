@@ -78,6 +78,8 @@ KERNEL_OPS = (
     "cgs2_project",
     "back_substitution",
     "givens_downdate",
+    "givens_insert_column",
+    "givens_append_rows",
     "householder_panel",
     "gram_matvec",
 )

@@ -33,7 +33,9 @@ __all__ = [
     "TIER",
     "back_substitution",
     "cgs2_project",
+    "givens_append_rows",
     "givens_downdate",
+    "givens_insert_column",
     "gram_matvec",
     "householder_panel",
 ]
@@ -112,6 +114,64 @@ def givens_downdate(r, q, position):
             t1 = q[row, i + 1]
             q[row, i] = t0 * c + t1 * s
             q[row, i + 1] = -t0 * s + t1 * c
+
+
+@njit(cache=True)
+def givens_insert_column(r, q, position):
+    """Bottom-up Givens sweep zeroing the inserted column's subdiagonal.
+
+    Identical rotation coefficients and application order to the numpy
+    tier (rows ``i, i+1`` of *r* from column ``position`` on; columns
+    ``i, i+1`` of *q*), written as scalar updates.
+    """
+    k = r.shape[0]
+    m = q.shape[0]
+    for i in range(k - 2, position - 1, -1):
+        a = r[i, position]
+        b = r[i + 1, position]
+        h = np.hypot(a, b)
+        if h == 0.0:
+            continue
+        c = a / h
+        s = b / h
+        for j in range(position, k):
+            t0 = r[i, j]
+            t1 = r[i + 1, j]
+            r[i, j] = c * t0 + s * t1
+            r[i + 1, j] = -s * t0 + c * t1
+        for row in range(m):
+            t0 = q[row, i]
+            t1 = q[row, i + 1]
+            q[row, i] = t0 * c + t1 * s
+            q[row, i + 1] = -t0 * s + t1 * c
+
+
+@njit(cache=True)
+def givens_append_rows(r, rows, q):
+    """Row-append Givens sweep; same rotations as the numpy tier, looped."""
+    k = r.shape[1]
+    t = rows.shape[0]
+    m = q.shape[0]
+    for jrow in range(t):
+        for i in range(k):
+            a = r[i, i]
+            b = rows[jrow, i]
+            if b == 0.0:
+                continue
+            h = np.hypot(a, b)
+            c = a / h
+            s = b / h
+            for j in range(i, k):
+                t0 = r[i, j]
+                t1 = rows[jrow, j]
+                r[i, j] = c * t0 + s * t1
+                rows[jrow, j] = -s * t0 + c * t1
+            col = k + jrow
+            for row in range(m):
+                t0 = q[row, i]
+                t1 = q[row, col]
+                q[row, i] = c * t0 + s * t1
+                q[row, col] = -s * t0 + c * t1
 
 
 @njit(cache=True)

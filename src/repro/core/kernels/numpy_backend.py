@@ -25,7 +25,9 @@ __all__ = [
     "TIER",
     "back_substitution",
     "cgs2_project",
+    "givens_append_rows",
     "givens_downdate",
+    "givens_insert_column",
     "gram_matvec",
     "householder_panel",
 ]
@@ -83,6 +85,57 @@ def givens_downdate(r: np.ndarray, q: np.ndarray, position: int) -> None:
         rot = np.array([[c, s], [-s, c]])
         r[[i, i + 1], i:] = rot @ r[[i, i + 1], i:]
         q[:, [i, i + 1]] = q[:, [i, i + 1]] @ rot.T
+
+
+def givens_insert_column(r: np.ndarray, q: np.ndarray, position: int) -> None:
+    """Restore triangularity after inserting a column at *position* (in place).
+
+    *r* is the ``(k, k)`` array whose column ``position`` still carries
+    entries down to the last row (the CGS2 coefficients of the inserted
+    column plus the residual norm in row ``k-1``) while every other
+    column is already upper triangular for its final index; *q* is the
+    ``(m, k)`` orthonormal block whose last column is the normalised
+    residual.  One Givens rotation per subdiagonal entry, swept
+    bottom-up, rolls the inserted column's mass onto its diagonal.
+    """
+    k = r.shape[0]
+    for i in range(k - 2, position - 1, -1):
+        a, b = r[i, position], r[i + 1, position]
+        h = np.hypot(a, b)
+        if h == 0.0:
+            continue
+        c, s = a / h, b / h
+        rot = np.array([[c, s], [-s, c]])
+        r[[i, i + 1], position:] = rot @ r[[i, i + 1], position:]
+        q[:, [i, i + 1]] = q[:, [i, i + 1]] @ rot.T
+
+
+def givens_append_rows(r: np.ndarray, rows: np.ndarray, q: np.ndarray) -> None:
+    """Fold appended matrix rows into a triangular ``R`` (in place).
+
+    *r* is the ``(k, k)`` upper-triangular factor, *rows* the ``(t, k)``
+    block of new matrix rows, and *q* the ``(m + t, k + t)`` orthonormal
+    block whose last ``t`` columns are the unit vectors of the new rows.
+    Each new row is eliminated left to right against the diagonal of
+    ``R``; the rotation mixing ``r[i]`` with ``rows[j]`` acts on ``q``
+    columns ``i`` and ``k + j``.  After the sweep ``q[:, :k]`` spans the
+    extended matrix and *rows* is numerically zero.
+    """
+    k = r.shape[1]
+    for j in range(rows.shape[0]):
+        for i in range(k):
+            a, b = r[i, i], rows[j, i]
+            if b == 0.0:
+                continue
+            h = np.hypot(a, b)
+            c, s = a / h, b / h
+            upper = r[i, i:].copy()
+            r[i, i:] = c * upper + s * rows[j, i:]
+            rows[j, i:] = -s * upper + c * rows[j, i:]
+            qi = q[:, i].copy()
+            qj = q[:, k + j]
+            q[:, i] = c * qi + s * qj
+            q[:, k + j] = -s * qi + c * qj
 
 
 def householder_panel(

@@ -74,6 +74,11 @@ class LossInferenceAlgorithm:
         Drop negative sample-covariance equations (paper behaviour).
     floor:
         Continuity floor for log transforms (default ``0.5 / S``).
+    downdate_limit, update_limit, reduction_reuse_limit, max_cache_bytes:
+        Incremental-cache knobs forwarded to
+        :class:`~repro.core.engine.InferenceEngine`; all off by default
+        so batch pipelines stay bit-identical (the online monitor opts
+        in).
     """
 
     def __init__(
@@ -85,6 +90,10 @@ class LossInferenceAlgorithm:
         floor: Optional[float] = None,
         congestion_threshold: float = 0.002,
         cutoff_scale: float = 16.0,
+        downdate_limit: int = 0,
+        update_limit: int = 0,
+        reduction_reuse_limit: int = 0,
+        max_cache_bytes: Optional[int] = None,
     ) -> None:
         self.engine = InferenceEngine(
             routing,
@@ -94,6 +103,10 @@ class LossInferenceAlgorithm:
             floor=floor,
             congestion_threshold=congestion_threshold,
             cutoff_scale=cutoff_scale,
+            downdate_limit=downdate_limit,
+            update_limit=update_limit,
+            reduction_reuse_limit=reduction_reuse_limit,
+            max_cache_bytes=max_cache_bytes,
         )
 
     # The statistical knobs stay readable on the wrapper.

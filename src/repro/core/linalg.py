@@ -34,6 +34,12 @@ from repro.core.kernels import get_kernels
 #: tiny while making the trailing update a genuine BLAS-3 operation.
 DEFAULT_BLOCK_SIZE = 32
 
+#: Residual-norm ratio below which :meth:`QRFactorization.add_column`
+#: declares the offered column dependent and refuses the update.  Same
+#: tolerance as the reduction's basis offers, so a column the greedy
+#: sweep accepted is also updatable.
+ADD_COLUMN_REL_TOL = 1e-9
+
 
 def solve_upper_triangular(r: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Solve ``r x = b`` (upper triangular) straight through LAPACK ``trtrs``.
@@ -226,6 +232,9 @@ class QRFactorization:
     ``remove_column`` returns the factorization of the same matrix with
     one column deleted, restored to triangular form with Givens
     rotations — an O(m k) downdate versus an O(m k^2) refactorization.
+    ``add_column`` and ``append_rows`` are the matching *updates*: a
+    CGS2 column offer plus a Givens sweep, and a Givens row fold-in,
+    each O(m k) against the O(m k^2) fresh QR they replace.
     """
 
     q: np.ndarray  # (m, k), orthonormal columns
@@ -263,7 +272,10 @@ class QRFactorization:
             q, r = householder_qr(A)
         else:
             raise ValueError(f"unknown method {method!r}")
-        return cls(q=q, r=np.triu(r), columns=cols)
+        # LAPACK hands back Fortran-order arrays; the update/downdate
+        # kernels want C-contiguous Q, and paying the layout copy once
+        # here keeps it out of every incremental refresh.
+        return cls(q=np.ascontiguousarray(q), r=np.triu(r), columns=cols)
 
     @property
     def num_rows(self) -> int:
@@ -326,6 +338,98 @@ class QRFactorization:
         remaining = self.columns[:position] + self.columns[position + 1 :]
         return QRFactorization(
             q=q[:, : k - 1], r=np.triu(r[: k - 1, :]), columns=remaining
+        )
+
+    def add_column(
+        self,
+        values: np.ndarray,
+        column: int,
+        position: Optional[int] = None,
+    ) -> "QRFactorization":
+        """Update: the factorization with a new column inserted.
+
+        *values* is the new matrix column, *column* its label, and
+        *position* where it lands in the column order (default: append
+        last).  The column is orthogonalised against ``Q`` with the same
+        CGS2 kernel the incremental basis uses, the normalised residual
+        becomes the new basis vector, and — when the column is not
+        appended last — a bottom-up Givens sweep restores triangularity:
+        O(m k) total versus O(m k^2) for a fresh QR.
+
+        Raises :class:`scipy.linalg.LinAlgError` when the offered column
+        sits (numerically) inside the current column span — an update
+        cannot represent a rank-deficient block, so the caller should
+        refactorize instead.
+        """
+        k = self.num_columns
+        m = self.num_rows
+        a = np.array(values, dtype=np.float64)
+        if a.shape != (m,):
+            raise ValueError(f"expected a column of length {m}, got {a.shape}")
+        if position is None:
+            position = k
+        if not 0 <= position <= k:
+            raise IndexError(
+                f"insert position {position} outside [0, {k}]"
+            )
+        norm0 = float(np.linalg.norm(a))
+        v = a.copy()
+        if k:
+            v = get_kernels().cgs2_project(
+                np.ascontiguousarray(self.q), k, v
+            )
+        rho = float(np.linalg.norm(v))
+        if norm0 == 0.0 or rho <= ADD_COLUMN_REL_TOL * norm0:
+            raise scipy_linalg.LinAlgError(
+                "offered column is (numerically) dependent on the "
+                "factorized columns; refactorize instead of updating"
+            )
+        q = np.empty((m, k + 1), dtype=np.float64)
+        q[:, :k] = self.q
+        q[:, k] = v / rho
+        r = np.zeros((k + 1, k + 1), dtype=np.float64)
+        r[:k, :position] = self.r[:, :position]
+        r[:k, position + 1 :] = self.r[:, position:]
+        # The exact combined coefficients of both CGS2 passes: the
+        # projected-out component a - v lies in span(Q) by construction.
+        if k:
+            r[:k, position] = self.q.T @ (a - v)
+        r[k, position] = rho
+        if position < k:
+            get_kernels().givens_insert_column(r, q, position)
+        inserted = (
+            self.columns[:position] + (int(column),) + self.columns[position:]
+        )
+        return QRFactorization(q=q, r=np.triu(r), columns=inserted)
+
+    def append_rows(self, rows: np.ndarray) -> "QRFactorization":
+        """Update: the factorization of the matrix with *rows* stacked below.
+
+        Each new row is Givens-eliminated into ``R`` left to right —
+        O(t k (m + k)) for *t* new rows versus a fresh O((m + t) k^2)
+        QR.  The column set (and its labels) is unchanged; only the row
+        space grows, e.g. when new probing paths join a deployment.
+        """
+        B = np.array(rows, dtype=np.float64, ndmin=2)
+        k = self.num_columns
+        m = self.num_rows
+        if B.ndim != 2 or B.shape[1] != k:
+            raise ValueError(
+                f"expected rows of width {k}, got shape {B.shape}"
+            )
+        t = B.shape[0]
+        if t == 0:
+            return self
+        r = np.array(self.r, dtype=np.float64, order="C")
+        q = np.zeros((m + t, k + t), dtype=np.float64)
+        q[:m, :k] = self.q
+        for j in range(t):
+            q[m + j, k + j] = 1.0
+        get_kernels().givens_append_rows(r, np.ascontiguousarray(B), q)
+        return QRFactorization(
+            q=np.ascontiguousarray(q[:, :k]),
+            r=np.triu(r),
+            columns=self.columns,
         )
 
 

@@ -227,13 +227,77 @@ def _equation_weights(
     so that perfectly quiet path pairs (zero sample variance) cannot
     produce infinite weights.
     """
-    m = measurements.shape[0]
-    path_var = measurements.var(axis=0, ddof=1)
+    return _equation_weights_from_moments(
+        measurements.var(axis=0, ddof=1),
+        pairs,
+        sigma,
+        measurements.shape[0],
+    )
+
+
+def _equation_weights_from_moments(
+    path_variances: np.ndarray,
+    pairs: IntersectingPairs,
+    sigma: np.ndarray,
+    num_snapshots: int,
+) -> np.ndarray:
+    """:func:`_equation_weights` from pre-computed per-path variances."""
     eq_var = (
-        path_var[pairs.pair_i] * path_var[pairs.pair_j] + sigma**2
-    ) / max(m - 1, 1)
+        path_variances[pairs.pair_i] * path_variances[pairs.pair_j] + sigma**2
+    ) / max(num_snapshots - 1, 1)
     floor = max(float(eq_var.max()) * 1e-9, 1e-30)
     return 1.0 / np.sqrt(np.maximum(eq_var, floor))
+
+
+def estimate_link_variances_from_moments(
+    pairs: IntersectingPairs,
+    sigma: np.ndarray,
+    path_variances: np.ndarray,
+    num_snapshots: int,
+    method: str = "wls",
+    drop_negative: bool = True,
+) -> VarianceEstimate:
+    """Phase 1 from pre-computed window moments (the streaming path).
+
+    A rolling monitor maintains per-equation covariance sums
+    incrementally — O(pairs) per snapshot — instead of re-reading the
+    whole window; this entry point runs the same filtering, weighting
+    and solve as :func:`estimate_link_variances` on those moments
+    without ever materialising the ``(m, n_p)`` measurement matrix.
+    *sigma* is the per-pair sample covariance vector (entry order
+    matching *pairs*), *path_variances* the per-path sample variances.
+    """
+    if method not in VARIANCE_METHODS:
+        raise ValueError(f"unknown method {method!r}, want one of {VARIANCE_METHODS}")
+    if num_snapshots < 2:
+        raise ValueError("variance estimation needs at least two snapshots")
+    sigma = np.asarray(sigma, dtype=np.float64)
+    if sigma.shape != (pairs.num_pairs,):
+        raise ValueError("one covariance per intersecting pair required")
+    summary = CovarianceSummary(
+        num_snapshots=num_snapshots,
+        num_pairs=pairs.num_pairs,
+        num_negative=int(negative_pair_mask(sigma).sum()),
+    )
+    weights = None
+    if method == "wls":
+        weights = _equation_weights_from_moments(
+            np.asarray(path_variances, dtype=np.float64),
+            pairs,
+            sigma,
+            num_snapshots,
+        )
+    solution = solve_covariance_system(
+        pairs.matrix, sigma, method=method, weights=weights,
+        drop_negative=drop_negative,
+    )
+    return VarianceEstimate(
+        variances=solution.variances,
+        method=method,
+        covariance_summary=summary,
+        residual_norm=solution.residual_norm,
+        weighted_residual_norm=solution.weighted_residual_norm,
+    )
 
 
 def _solve(A: sparse.csr_matrix, b: np.ndarray, method: str) -> np.ndarray:

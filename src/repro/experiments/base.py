@@ -107,9 +107,12 @@ class ExperimentResult:
     table: TextTable
     data: Dict[str, object] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    extra_tables: List[Tuple[str, TextTable]] = field(default_factory=list)
 
     def render(self) -> str:
         lines = [f"== {self.name} ==", self.description, "", self.table.render()]
+        for title, extra in self.extra_tables:
+            lines.extend(["", title, extra.render()])
         if self.notes:
             lines.append("")
             lines.extend(f"note: {n}" for n in self.notes)

@@ -122,7 +122,12 @@ def trial(spec: TrialSpec) -> dict:
     infer_many(forest_runs)
     t_forest_batched = time.perf_counter() - t0
 
+    cache_info = {
+        name: info.as_dict() for name, info in lia.engine.cache_info().items()
+    }
+
     return {
+        "cache_info": cache_info,
         "build_a": t_build_a,
         "phase1": t_phase1,
         "reduce": t_reduce,
@@ -165,6 +170,32 @@ def run(
         [f"forest: {trees}-tree batched solve", payload["forest_batched"]]
     )
 
+    cache_table = TextTable(
+        [
+            "cache",
+            "hits",
+            "misses",
+            "updates",
+            "downdates",
+            "evictions",
+            "entries",
+            "resident bytes",
+        ]
+    )
+    for cache_name, info in payload["cache_info"].items():
+        cache_table.add_row(
+            [
+                cache_name,
+                info["hits"],
+                info["misses"],
+                info["updates"],
+                info["downdates"],
+                info["evictions"],
+                info["entries"],
+                info["resident_bytes"],
+            ]
+        )
+
     result = ExperimentResult(
         name="timing",
         description=(
@@ -173,7 +204,9 @@ def run(
             f"{payload['num_links']} links, m={params.snapshots})"
         ),
         table=table,
+        extra_tables=[("engine cache statistics (warm state):", cache_table)],
         data={
+            "cache_info": payload["cache_info"],
             "build_a": payload["build_a"],
             "phase1": payload["phase1"],
             "reduce": payload["reduce"],

@@ -5,23 +5,34 @@ few vantage points.  The inference method is fast and so could have
 potential for such problems."  This module packages LIA as the long-
 running service that sentence implies:
 
-* a **rolling window** of the last ``window`` snapshots feeds phase 1;
-  the variance estimate refreshes every ``refresh_interval`` snapshots
-  (the expensive intersecting-pairs structure is built once, and the
+* a **rolling window** of the last ``window`` snapshots feeds phase 1
+  through **running sufficient statistics**: per-path and per-equation
+  sums maintained in O(pairs) per snapshot (:class:`_RollingMoments`),
+  so a variance refresh — every ``refresh_interval`` snapshots — hands
+  :func:`~repro.core.variance.estimate_link_variances_from_moments`
+  ready-made moments instead of re-reading the whole window, and skips
+  the solve outright when no covariance equation went dirty;
+* the expensive intersecting-pairs structure is built once, and the
   :class:`~repro.core.engine.InferenceEngine` underneath memoizes the
   phase-2 reduction per estimate and the ``R*`` factorization per
-  kept-column set, so between refreshes each localisation is a pair of
-  triangular solves; when a refresh *shrinks* the kept set by one or two
-  columns — a watched link clearing — the cached factorization is
-  Givens-downdated via
-  :meth:`~repro.core.linalg.QRFactorization.remove_column` instead of
-  refactorized, see :attr:`OnlineLossMonitor.factorization_downdates`);
+  kept-column set, so between variance refreshes each localisation is a
+  pair of triangular solves.  A refresh that *shrinks* the kept set by
+  at most ``downdate_limit`` columns — a watched link clearing —
+  Givens-downdates the cached factorization
+  (:meth:`~repro.core.linalg.QRFactorization.remove_column`); one that
+  *grows* it by at most ``update_limit`` columns — congestion churn
+  re-flagging links — CGS2-updates it
+  (:meth:`~repro.core.linalg.QRFactorization.add_column`) and reuses
+  the phase-2 basis sweep, so neither direction refactorizes from
+  scratch (see :meth:`OnlineLossMonitor.cache_info`);
 * every arriving snapshot is screened by a cheap **path-level z-score**
   against the window's running statistics; snapshots with anomalous
   paths trigger full LIA localisation;
 * per-link congestion state is tracked across snapshots, emitting
   ``onset`` / ``cleared`` events with durations — the Section 7.2.2
-  run-length analysis as a live signal.
+  run-length analysis as a live signal;
+* ``max_cache_bytes`` byte-bounds the engine caches so monitor state
+  stays bounded over days of traffic.
 """
 
 from __future__ import annotations
@@ -32,10 +43,93 @@ from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
+from repro.core.engine import CacheInfo
 from repro.core.lia import LossInferenceAlgorithm
-from repro.core.variance import VarianceEstimate
+from repro.core.variance import (
+    VarianceEstimate,
+    estimate_link_variances_from_moments,
+)
 from repro.probing.snapshot import MeasurementCampaign, Snapshot
 from repro.topology.routing import RoutingMatrix
+
+
+#: Rebuild :class:`_RollingMoments` sums from the stored window every
+#: this many pushes: rolling add/subtract accumulates float drift, and a
+#: periodic O(window * pairs) rebase bounds it without showing up in the
+#: per-snapshot cost.
+MOMENTS_REBASE_INTERVAL = 64
+
+
+class _RollingMoments:
+    """Running per-path and per-equation sufficient statistics.
+
+    Over the rolling window of log-rate vectors ``y_t`` it maintains
+    ``sum_t y``, ``sum_t y^2`` and ``sum_t y_i y_j`` for every
+    intersecting path pair — enough to emit the exact sample covariances
+    and path variances phase 1 consumes, in O(pairs) per snapshot
+    instead of O(window x pairs) per refresh:
+
+    ``cov_ij = (sum y_i y_j - m ybar_i ybar_j) / (m - 1)``
+
+    which is algebraically the batch
+    :func:`~repro.core.covariance.sample_covariance_pairs` formula (the
+    batch path centers first, so the two agree to rounding, not to the
+    byte — one reason the incremental path is monitor-only).
+    """
+
+    def __init__(self, pair_i: np.ndarray, pair_j: np.ndarray, num_paths: int):
+        self._pair_i = pair_i
+        self._pair_j = pair_j
+        self.sum_y = np.zeros(num_paths, dtype=np.float64)
+        self.sum_sq = np.zeros(num_paths, dtype=np.float64)
+        self.sum_pair = np.zeros(len(pair_i), dtype=np.float64)
+        self.count = 0
+        self._pushes_since_rebase = 0
+
+    def push(
+        self, y: np.ndarray, evicted: Optional[np.ndarray] = None
+    ) -> None:
+        """Add one window row; subtract the one that fell out, if any."""
+        self.sum_y += y
+        self.sum_sq += y * y
+        self.sum_pair += y[self._pair_i] * y[self._pair_j]
+        self.count += 1
+        if evicted is not None:
+            self.sum_y -= evicted
+            self.sum_sq -= evicted * evicted
+            self.sum_pair -= evicted[self._pair_i] * evicted[self._pair_j]
+            self.count -= 1
+        self._pushes_since_rebase += 1
+
+    @property
+    def needs_rebase(self) -> bool:
+        return self._pushes_since_rebase >= MOMENTS_REBASE_INTERVAL
+
+    def rebase(self, window_rows: List[np.ndarray]) -> None:
+        """Recompute the sums from scratch (bounds rolling float drift)."""
+        Y = np.vstack(window_rows)
+        self.sum_y = Y.sum(axis=0)
+        self.sum_sq = (Y * Y).sum(axis=0)
+        self.sum_pair = (Y[:, self._pair_i] * Y[:, self._pair_j]).sum(axis=0)
+        self.count = Y.shape[0]
+        self._pushes_since_rebase = 0
+
+    def path_means(self) -> np.ndarray:
+        return self.sum_y / self.count
+
+    def path_variances(self) -> np.ndarray:
+        m = self.count
+        var = (self.sum_sq - self.sum_y * self.sum_y / m) / (m - 1)
+        # Rolling subtraction can push an exactly-constant path a few
+        # ulps negative; variances are non-negative by definition.
+        return np.maximum(var, 0.0)
+
+    def pair_covariances(self) -> np.ndarray:
+        m = self.count
+        mean = self.sum_y / m
+        return (
+            self.sum_pair - m * mean[self._pair_i] * mean[self._pair_j]
+        ) / (m - 1)
 
 
 @dataclass(frozen=True)
@@ -91,6 +185,22 @@ class OnlineLossMonitor:
     localize_always:
         Run LIA on every snapshot instead of only on screened ones
         (costlier, catches sub-threshold drift).
+    downdate_limit, update_limit:
+        How many kept-set columns a variance refresh may remove / add
+        while still reusing the cached ``R*`` factorization (Givens
+        downdates / CGS2 column adds) and, for updates, the phase-2
+        basis sweep.  Larger limits absorb heavier congestion churn at
+        the cost of longer update chains; 0 disables that direction.
+    max_cache_bytes:
+        Byte bound on each engine cache's resident arrays (``None``:
+        entry-count bounds only) so monitor state stays bounded over
+        days of traffic.
+    incremental_variance:
+        Maintain rolling sufficient statistics so a variance refresh
+        re-solves from O(pairs) running moments instead of re-reading
+        the whole window (and skips the solve when no equation went
+        dirty).  The moments match the batch path to rounding, not to
+        the byte; disable to reproduce batch arithmetic exactly.
     """
 
     def __init__(
@@ -101,6 +211,10 @@ class OnlineLossMonitor:
         congestion_threshold: float = 0.002,
         z_threshold: float = 4.0,
         localize_always: bool = False,
+        downdate_limit: int = 2,
+        update_limit: int = 2,
+        max_cache_bytes: Optional[int] = None,
+        incremental_variance: bool = True,
     ) -> None:
         if window < 2:
             raise ValueError("window must be at least 2")
@@ -108,24 +222,36 @@ class OnlineLossMonitor:
             raise ValueError("refresh_interval must be at least 1")
         if z_threshold <= 0:
             raise ValueError("z_threshold must be positive")
+        if downdate_limit < 0 or update_limit < 0:
+            raise ValueError("cache update limits must be non-negative")
         self.routing = routing
         self.window = window
         self.refresh_interval = refresh_interval
         self.congestion_threshold = congestion_threshold
         self.z_threshold = z_threshold
         self.localize_always = localize_always
+        self.incremental_variance = incremental_variance
 
+        # Long-lived monitors opt into the incremental cache paths: a
+        # refresh that exonerates or re-flags a link or two reuses the
+        # cached R* factorization (and the phase-2 basis sweep) instead
+        # of refactorizing.  (Off by default in the engine so batch
+        # pipelines stay bit-identical.)
         self._lia = LossInferenceAlgorithm(
-            routing, congestion_threshold=congestion_threshold
+            routing,
+            congestion_threshold=congestion_threshold,
+            downdate_limit=downdate_limit,
+            update_limit=update_limit,
+            reduction_reuse_limit=max(downdate_limit, update_limit),
+            max_cache_bytes=max_cache_bytes,
         )
-        # Long-lived monitors opt into QR downdating: a refresh that
-        # exonerates a link or two reuses the cached R* factorization
-        # via Givens column removals instead of refactorizing.  (Off by
-        # default in the engine so batch pipelines stay bit-identical.)
-        self._lia.engine.factorization_cache.downdate_limit = 2
         self._history: Deque[Snapshot] = deque(maxlen=window)
         self._log_history: Deque[np.ndarray] = deque(maxlen=window)
+        self._moments: Optional[_RollingMoments] = None
         self._estimate: Optional[VarianceEstimate] = None
+        self._last_sigma: Optional[np.ndarray] = None
+        self.variance_refreshes = 0
+        self.variance_solves_skipped = 0
         self._since_refresh = 0
         self._time = -1
         self._congested_since: Dict[int, int] = {}
@@ -147,11 +273,21 @@ class OnlineLossMonitor:
     def factorization_downdates(self) -> int:
         """Refreshes absorbed by a Givens downdate instead of a fresh QR.
 
-        Incremented when a variance refresh shrank the kept-column set by
-        at most two columns and the engine reused the previous ``R*``
-        factorization via column-removal downdates.
+        Incremented when a variance refresh shrank the kept-column set
+        within ``downdate_limit`` and the engine reused the previous
+        ``R*`` factorization via column-removal downdates.  (One counter
+        of the fuller :meth:`cache_info` picture.)
         """
         return self.engine.factorization_cache.downdates
+
+    @property
+    def factorization_updates(self) -> int:
+        """Refreshes absorbed by CGS2 column adds instead of a fresh QR."""
+        return self.engine.factorization_cache.updates
+
+    def cache_info(self) -> Dict[str, CacheInfo]:
+        """Hit/miss/update/downdate/eviction counters of both engine caches."""
+        return self.engine.cache_info()
 
     def currently_congested(self) -> List[int]:
         return sorted(self._congested_since)
@@ -177,16 +313,29 @@ class OnlineLossMonitor:
             anomalous_paths=np.flatnonzero(anomalous),
         )
 
+        log_rates = snapshot.path_log_rates()
+        evicted = (
+            self._log_history[0]
+            if len(self._log_history) == self.window
+            else None
+        )
         self._history.append(snapshot)
-        self._log_history.append(snapshot.path_log_rates())
+        self._log_history.append(log_rates)
+        if self.incremental_variance:
+            if self._moments is None:
+                self._moments = _RollingMoments(
+                    self.engine.pairs.pair_i,
+                    self.engine.pairs.pair_j,
+                    self.routing.num_paths,
+                )
+            self._moments.push(log_rates, evicted)
+            if self._moments.needs_rebase:
+                self._moments.rebase(list(self._log_history))
         if not self.is_warm:
             return report
 
         if self._estimate is None or self._since_refresh >= self.refresh_interval:
-            training = MeasurementCampaign(
-                routing=self.routing, snapshots=list(self._history)
-            )
-            self._estimate = self._lia.learn_variances(training)
+            self._refresh_estimate()
             self._since_refresh = 0
         else:
             self._since_refresh += 1
@@ -199,13 +348,46 @@ class OnlineLossMonitor:
             report.events = self._update_states(result.loss_rates)
         return report
 
+    def _refresh_estimate(self) -> None:
+        """Re-learn link variances from the current window."""
+        self.variance_refreshes += 1
+        if self.incremental_variance and self._moments is not None:
+            sigma = self._moments.pair_covariances()
+            if (
+                self._estimate is not None
+                and self._last_sigma is not None
+                and np.array_equal(sigma, self._last_sigma)
+            ):
+                # No covariance equation went dirty since the last
+                # solve; the estimate is still exact.
+                self.variance_solves_skipped += 1
+                return
+            self._estimate = estimate_link_variances_from_moments(
+                self.engine.pairs,
+                sigma,
+                self._moments.path_variances(),
+                self._moments.count,
+                method=self._lia.variance_method,
+                drop_negative=self._lia.drop_negative,
+            )
+            self._last_sigma = sigma
+            return
+        training = MeasurementCampaign(
+            routing=self.routing, snapshots=list(self._history)
+        )
+        self._estimate = self._lia.learn_variances(training)
+
     def _screen(self, snapshot: Snapshot) -> np.ndarray:
         """Cheap per-path z-score against the rolling window."""
         if len(self._log_history) < 2:
             return np.zeros(snapshot.num_paths, dtype=bool)
-        Y = np.vstack(list(self._log_history))
-        mean = Y.mean(axis=0)
-        std = np.maximum(Y.std(axis=0, ddof=1), 1e-6)
+        if self.incremental_variance and self._moments is not None:
+            mean = self._moments.path_means()
+            std = np.maximum(np.sqrt(self._moments.path_variances()), 1e-6)
+        else:
+            Y = np.vstack(list(self._log_history))
+            mean = Y.mean(axis=0)
+            std = np.maximum(Y.std(axis=0, ddof=1), 1e-6)
         z = (snapshot.path_log_rates() - mean) / std
         return z < -self.z_threshold
 

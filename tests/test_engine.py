@@ -5,7 +5,12 @@ import pytest
 from scipy import sparse
 
 from repro.core.covariance import CovarianceSummary
-from repro.core.engine import FactorizationCache, InferenceEngine, infer_many
+from repro.core.engine import (
+    FactorizationCache,
+    InferenceEngine,
+    ReductionCache,
+    infer_many,
+)
 from repro.core.lia import LossInferenceAlgorithm
 from repro.core.reduction import reduce_to_full_rank, solve_reduced_system
 from repro.core.variance import VarianceEstimate
@@ -149,6 +154,308 @@ class TestFactorizationDowndate:
         assert np.allclose(
             narrow.transmission_rates, cold.transmission_rates, atol=1e-10
         )
+
+
+class TestFactorizationUpdate:
+    """Growing kept sets reuse the cached QR via CGS2 column adds."""
+
+    @pytest.fixture()
+    def matrix(self):
+        rng = np.random.default_rng(3)
+        return rng.random(size=(24, 12)) + np.vstack(
+            [np.eye(12), np.zeros((12, 12))]
+        )
+
+    def test_superset_request_updates(self, matrix):
+        cache = FactorizationCache(matrix, update_limit=2)
+        cache.factorization(np.array([0, 1, 2, 4, 5, 7]))
+        grown = np.arange(8)  # adds columns 3 and 6
+        updated = cache.factorization(grown)
+        assert cache.updates == 1
+        assert cache.misses == 1  # only the initial subset factorization
+        assert updated.columns == tuple(range(8))
+
+        fresh = FactorizationCache(matrix).factorization(grown)
+        rhs = np.linspace(-1.0, 1.0, matrix.shape[0])
+        assert np.allclose(updated.solve(rhs), fresh.solve(rhs), atol=1e-10)
+        assert np.allclose(
+            updated.q @ updated.r, matrix[:, grown], atol=1e-10
+        )
+
+    def test_grow_beyond_limit_refactorizes(self, matrix):
+        cache = FactorizationCache(matrix, update_limit=2)
+        cache.factorization(np.arange(5))
+        cache.factorization(np.arange(8))  # 3 columns added
+        assert cache.updates == 0
+        assert cache.misses == 2
+
+    def test_update_is_off_by_default(self, matrix):
+        """Batch pipelines stay bit-identical: only opted-in consumers
+        (the monitor) ride the column-add path."""
+        cache = FactorizationCache(matrix)
+        cache.factorization(np.arange(5))
+        cache.factorization(np.arange(6))
+        assert cache.updates == 0
+        assert cache.misses == 2
+
+    def test_dependent_column_falls_back_to_fresh_qr(self):
+        rng = np.random.default_rng(5)
+        A = rng.random(size=(10, 6))
+        A[:, 4] = A[:, 0] + A[:, 1]
+        cache = FactorizationCache(A, update_limit=2)
+        cache.factorization(np.array([0, 1, 2]))
+        grown = cache.factorization(np.array([0, 1, 2, 4]))
+        # The CGS2 offer rejects the dependent column; the cache falls
+        # back to a fresh (rank-deficient) factorization instead.
+        assert cache.updates == 0
+        assert cache.misses == 2
+        assert not grown.full_rank
+
+    def test_updated_entry_is_cached(self, matrix):
+        cache = FactorizationCache(matrix, update_limit=2)
+        cache.factorization(np.arange(5))
+        grown = np.arange(6)
+        first = cache.factorization(grown)
+        second = cache.factorization(grown)
+        assert first is second
+        assert cache.updates == 1 and cache.hits == 1
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            FactorizationCache(np.eye(2), update_limit=-1)
+        with pytest.raises(ValueError):
+            FactorizationCache(np.eye(2), downdate_limit=-1)
+
+    def test_engine_updates_on_growing_kept_set(self, small_tree):
+        """A refresh that implicates ≤2 new columns rides the add path."""
+        from repro.probing.snapshot import Snapshot
+
+        _, _, routing = small_tree
+        engine = InferenceEngine(routing, update_limit=2)
+
+        def estimate_with(columns):
+            variances = np.zeros(routing.num_links)
+            variances[list(columns)] = 1e-2
+            return VarianceEstimate(
+                variances=variances,
+                method="wls",
+                covariance_summary=CovarianceSummary(2, 1, 0),
+                residual_norm=0.0,
+            )
+
+        snapshot = Snapshot(
+            path_transmission=np.full(routing.num_paths, 0.98),
+            num_probes=1000,
+        )
+        engine.infer(snapshot, estimate_with([1, 5, 7]))
+        wide = engine.infer(snapshot, estimate_with([1, 3, 5, 7]))
+        assert engine.factorization_cache.updates == 1
+        assert engine.factorization_cache.misses == 1
+
+        cold = InferenceEngine(routing).infer(
+            snapshot, estimate_with([1, 3, 5, 7])
+        )
+        assert np.allclose(
+            wide.transmission_rates, cold.transmission_rates, atol=1e-10
+        )
+
+
+class TestCacheBudgets:
+    """max_bytes bounds resident arrays with byte-accounted LRU eviction."""
+
+    @pytest.fixture()
+    def matrix(self):
+        rng = np.random.default_rng(3)
+        return rng.random(size=(24, 12)) + np.vstack(
+            [np.eye(12), np.zeros((12, 12))]
+        )
+
+    @staticmethod
+    def entry_bytes(factorization):
+        return factorization.q.nbytes + factorization.r.nbytes
+
+    def test_byte_budget_evicts_lru(self, matrix):
+        probe = FactorizationCache(matrix).factorization(np.arange(6))
+        cache = FactorizationCache(
+            matrix, max_bytes=self.entry_bytes(probe) + 64
+        )
+        first = cache.factorization(np.arange(6))
+        cache.factorization(np.arange(6, 12))  # same size: evicts the first
+        assert cache.evictions == 1
+        assert len(cache) == 1
+        assert cache.resident_bytes <= cache.max_bytes
+        again = cache.factorization(np.arange(6))
+        assert again is not first
+
+    def test_single_entry_may_exceed_budget(self, matrix):
+        cache = FactorizationCache(matrix, max_bytes=1)
+        cache.factorization(np.arange(6))
+        # The eviction loop never empties the cache entirely.
+        assert len(cache) == 1
+        assert cache.evictions == 0
+        assert cache.resident_bytes > cache.max_bytes
+
+    def test_resident_bytes_tracks_evictions(self, matrix):
+        cache = FactorizationCache(matrix, max_entries=2)
+        sizes = []
+        for kept in (np.arange(4), np.arange(4, 10), np.arange(10, 12)):
+            sizes.append(self.entry_bytes(cache.factorization(kept)))
+        assert cache.evictions == 1
+        assert cache.resident_bytes == sum(sizes[1:])
+
+    def test_max_bytes_validated(self):
+        with pytest.raises(ValueError):
+            FactorizationCache(np.eye(2), max_bytes=0)
+        with pytest.raises(ValueError):
+            ReductionCache(np.eye(2), max_bytes=0)
+
+    def test_cache_info_snapshot(self, matrix):
+        cache = FactorizationCache(matrix, downdate_limit=2, update_limit=2)
+        cache.factorization(np.arange(6))
+        cache.factorization(np.arange(6))  # hit
+        cache.factorization(np.arange(5))  # downdate
+        cache.factorization(np.arange(7))  # update from the 6-column entry
+        info = cache.cache_info()
+        assert info.as_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "updates": 1,
+            "downdates": 1,
+            "evictions": 0,
+            "entries": 3,
+            "resident_bytes": cache.resident_bytes,
+        }
+
+    def test_engine_cache_info_keys(self, small_tree):
+        _, _, routing = small_tree
+        info = InferenceEngine(routing).cache_info()
+        assert set(info) == {"factorization", "reduction"}
+        assert all(value.entries == 0 for value in info.values())
+
+
+class TestReductionReuse:
+    """Threshold-strategy reuse across variance vectors (opt-in)."""
+
+    CUTOFF = 1e-4
+
+    @pytest.fixture()
+    def matrix(self):
+        rng = np.random.default_rng(3)
+        return rng.random(size=(24, 12)) + np.vstack(
+            [np.eye(12), np.zeros((12, 12))]
+        )
+
+    @staticmethod
+    def variances_for(columns, num_links=12, scale=1.0):
+        variances = np.zeros(num_links)
+        for i, column in enumerate(columns):
+            variances[column] = scale * 0.01 * (1 + i)
+        return variances
+
+    def reduce(self, cache, columns, scale=1.0):
+        return cache.reduce(
+            self.variances_for(columns, scale=scale),
+            "threshold",
+            variance_cutoff=self.CUTOFF,
+        )
+
+    def test_exact_vector_hits(self, matrix):
+        cache = ReductionCache(matrix, reuse_limit=2)
+        first = self.reduce(cache, [0, 3, 5])
+        second = self.reduce(cache, [0, 3, 5])
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_identical_candidates_skip_the_sweep(self, matrix):
+        """Same above-cutoff set under different variance values."""
+        cache = ReductionCache(matrix, reuse_limit=2)
+        first = self.reduce(cache, [0, 3, 5])
+        second = self.reduce(cache, [0, 3, 5], scale=2.0)
+        assert cache.updates == 1 and cache.misses == 1
+        assert np.array_equal(first.kept_columns, second.kept_columns)
+
+    def test_shrunk_candidates_skip_the_sweep(self, matrix):
+        cache = ReductionCache(matrix, reuse_limit=2)
+        self.reduce(cache, [0, 3, 5, 8])
+        shrunk = self.reduce(cache, [0, 5, 8])
+        assert cache.updates == 1 and cache.misses == 1
+        assert list(shrunk.kept_columns) == [0, 5, 8]
+
+    def test_grown_candidates_offer_only_new_columns(self, matrix):
+        cache = ReductionCache(matrix, reuse_limit=2)
+        self.reduce(cache, [0, 3, 5])
+        grown = self.reduce(cache, [0, 3, 5, 8, 9])
+        assert cache.updates == 1 and cache.misses == 1
+        assert list(grown.kept_columns) == [0, 3, 5, 8, 9]
+        # Decision-identical to the cold sweep.
+        cold = reduce_to_full_rank(
+            matrix,
+            self.variances_for([0, 3, 5, 8, 9]),
+            strategy="threshold",
+            variance_cutoff=self.CUTOFF,
+        )
+        assert np.array_equal(grown.kept_columns, cold.kept_columns)
+
+    def test_grow_beyond_limit_sweeps(self, matrix):
+        cache = ReductionCache(matrix, reuse_limit=2)
+        self.reduce(cache, [0, 3])
+        self.reduce(cache, [0, 3, 5, 8, 9])  # 3 new candidates
+        assert cache.updates == 0 and cache.misses == 2
+
+    def test_reuse_is_off_by_default(self, matrix):
+        cache = ReductionCache(matrix)
+        self.reduce(cache, [0, 3, 5])
+        self.reduce(cache, [0, 3, 5], scale=2.0)
+        assert cache.updates == 0 and cache.misses == 2
+
+    def test_dependent_growth_falls_back_to_the_sweep(self, matrix):
+        dependent = np.array(matrix)
+        dependent[:, 11] = dependent[:, 0] + dependent[:, 3]
+        cache = ReductionCache(dependent, reuse_limit=2)
+        self.reduce(cache, [0, 3])
+        grown = self.reduce(cache, [0, 3, 11])
+        # The basis offer rejects column 11, so the cold sweep runs; its
+        # descending-variance scan keeps {3, 11} and rejects 0 instead.
+        assert cache.updates == 0 and cache.misses == 2
+        cold = reduce_to_full_rank(
+            dependent,
+            self.variances_for([0, 3, 11]),
+            strategy="threshold",
+            variance_cutoff=self.CUTOFF,
+        )
+        assert np.array_equal(grown.kept_columns, cold.kept_columns)
+        assert list(grown.kept_columns) == [3, 11]
+
+    def test_negative_reuse_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ReductionCache(np.eye(2), reuse_limit=-1)
+
+
+class TestBatchByteIdentity:
+    """Knob-free engines never touch the incremental paths.
+
+    Batch pipelines construct their engines with the defaults, so their
+    payloads stay seed-for-seed byte-identical to the pre-incremental
+    code: the new paths are opt-in and only the monitor opts in.
+    """
+
+    def test_batch_inference_is_byte_identical_to_cold_engines(
+        self, trained
+    ):
+        routing, lia, training, target, estimate = trained
+        snapshots = list(training.snapshots[-3:]) + [target]
+        warm_lia = LossInferenceAlgorithm(routing)
+        results = [warm_lia.infer(s, estimate) for s in snapshots]
+        info = warm_lia.engine.cache_info()
+        assert info["factorization"].updates == 0
+        assert info["factorization"].downdates == 0
+        assert info["reduction"].updates == 0
+        for snapshot, warm in zip(snapshots, results):
+            cold = LossInferenceAlgorithm(routing).infer(snapshot, estimate)
+            assert np.array_equal(warm.loss_rates, cold.loss_rates)
+            assert np.array_equal(
+                warm.transmission_rates, cold.transmission_rates
+            )
 
 
 class TestEngineInference:

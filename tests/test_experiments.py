@@ -85,6 +85,35 @@ class TestShapes:
         result = EXPERIMENTS["timing"](scale="tiny", seed=0)
         assert result.data["build_a"] > 0
         assert result.data["infer"] > 0
+        # Batch pipelines keep the incremental cache paths cold (they
+        # are opt-in, monitor-only): payloads stay seed-for-seed
+        # identical to the pre-incremental code.  Plain memo reuse
+        # (exact hits) stays on.
+        info = result.data["cache_info"]
+        assert info["factorization"]["updates"] == 0
+        assert info["factorization"]["downdates"] == 0
+        assert info["reduction"]["updates"] == 0
+        assert info["factorization"]["hits"] >= 1
+        assert "engine cache statistics" in result.render()
+
+    def test_duration_payload_seed_for_seed_deterministic(self):
+        first = EXPERIMENTS["duration"](scale="tiny", seed=0)
+        second = EXPERIMENTS["duration"](scale="tiny", seed=0)
+
+        def equal(a, b):
+            if isinstance(a, dict):
+                return set(a) == set(b) and all(
+                    equal(a[k], b[k]) for k in a
+                )
+            if isinstance(a, (list, tuple)):
+                return len(a) == len(b) and all(
+                    equal(x, y) for x, y in zip(a, b)
+                )
+            if isinstance(a, np.ndarray):
+                return np.array_equal(a, b)
+            return a == b
+
+        assert equal(first.data, second.data)
 
     def test_duration_runs_have_short_tail(self):
         result = EXPERIMENTS["duration"](scale="tiny", seed=0)

@@ -147,6 +147,39 @@ def _back_substitution_oracle(U, b, tol):
     return x
 
 
+def _insert_column_state(seed, m=18, k=6, position=2):
+    """Pre-rotation ``(A, r, q, position)`` as ``add_column`` assembles it."""
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(m, k + 1))
+    base = np.delete(A, position, axis=1)
+    q0, r0 = np.linalg.qr(base)
+    a = A[:, position]
+    v = a - q0 @ (q0.T @ a)
+    v -= q0 @ (q0.T @ v)
+    rho = np.linalg.norm(v)
+    q = np.empty((m, k + 1))
+    q[:, :k] = q0
+    q[:, k] = v / rho
+    r = np.zeros((k + 1, k + 1))
+    r[:k, :position] = r0[:, :position]
+    r[:k, position + 1 :] = r0[:, position:]
+    r[:k, position] = q0.T @ (a - v)
+    r[k, position] = rho
+    return A, r, q, position
+
+
+def _append_rows_state(seed, m=14, k=5, t=3):
+    """Pre-sweep ``(A, r, rows, q)`` as ``append_rows`` assembles them."""
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(m + t, k))
+    q0, r0 = np.linalg.qr(A[:m])
+    q = np.zeros((m + t, k + t))
+    q[:m, :k] = q0
+    for j in range(t):
+        q[m + j, k + j] = 1.0
+    return A, np.ascontiguousarray(r0), A[m:].copy(), q
+
+
 class TestNumpyKernels:
     """The numpy backend pinned to the seed oracles, edge cases included."""
 
@@ -249,6 +282,24 @@ class TestNumpyKernels:
         direct = solve_normal_sparse(A, b)
         assert np.allclose(cg, direct, rtol=1e-8, atol=1e-10)
 
+    def test_givens_insert_column_restores_factorization(self):
+        A, r, q, position = _insert_column_state(seed=31)
+        numpy_backend.givens_insert_column(r, q, position)
+        k = r.shape[0]
+        assert np.allclose(r, np.triu(r), atol=1e-12)
+        assert np.allclose(q.T @ q, np.eye(k), atol=1e-10)
+        assert np.allclose(q @ r, A, atol=1e-10)
+
+    def test_givens_append_rows_restores_factorization(self):
+        A, r, rows, q = _append_rows_state(seed=32)
+        numpy_backend.givens_append_rows(r, rows, q)
+        k = r.shape[1]
+        assert np.allclose(r, np.triu(r), atol=1e-12)
+        # Eliminated rows are fully absorbed into R.
+        assert np.allclose(rows, 0.0, atol=1e-10)
+        assert np.allclose(q[:, :k].T @ q[:, :k], np.eye(k), atol=1e-10)
+        assert np.allclose(q[:, :k] @ r, A, atol=1e-10)
+
 
 @needs_numba
 class TestNumbaKernels:
@@ -298,6 +349,25 @@ class TestNumbaKernels:
         numpy_backend.givens_downdate(r1, q1, 2)
         assert np.allclose(r0, r1, rtol=1e-12, atol=1e-13)
         assert np.allclose(q0, q1, rtol=1e-12, atol=1e-13)
+
+    def test_givens_insert_column_matches_numpy_tier(self, numba_backend):
+        _, r, q, position = _insert_column_state(seed=17)
+        r0, q0 = r.copy(), q.copy()
+        r1, q1 = r.copy(), q.copy()
+        numba_backend.givens_insert_column(r0, q0, position)
+        numpy_backend.givens_insert_column(r1, q1, position)
+        assert np.allclose(r0, r1, rtol=1e-12, atol=1e-13)
+        assert np.allclose(q0, q1, rtol=1e-12, atol=1e-13)
+
+    def test_givens_append_rows_matches_numpy_tier(self, numba_backend):
+        _, r, rows, q = _append_rows_state(seed=18)
+        r0, rows0, q0 = r.copy(), rows.copy(), q.copy()
+        r1, rows1, q1 = r.copy(), rows.copy(), q.copy()
+        numba_backend.givens_append_rows(r0, rows0, q0)
+        numpy_backend.givens_append_rows(r1, rows1, q1)
+        assert np.allclose(r0, r1, rtol=1e-12, atol=1e-13)
+        assert np.allclose(q0, q1, rtol=1e-12, atol=1e-13)
+        assert np.allclose(rows0, rows1, atol=1e-12)
 
     @pytest.mark.parametrize("shape", [(5, 1), (12, 8), (50, 20)])
     def test_householder_panel_matches_numpy_tier(self, numba_backend, shape):

@@ -2,9 +2,11 @@
 
 import numpy as np
 import pytest
+from scipy import linalg as scipy_linalg
 
 from repro.core.linalg import (
     IncrementalColumnBasis,
+    QRFactorization,
     back_substitution,
     greedy_independent_columns,
     householder_qr,
@@ -128,3 +130,118 @@ class TestGreedyColumns:
         basis = IncrementalColumnBasis(dimension=3)
         with pytest.raises(ValueError):
             basis.try_add(np.ones(4))
+
+
+class TestQRColumnUpdates:
+    """Incremental column adds agree with a fresh QR to working precision."""
+
+    def solve_gap(self, updated, fresh):
+        rhs = np.linspace(-1.0, 1.0, updated.num_rows)
+        return float(
+            np.max(np.abs(updated.solve(rhs) - fresh.solve(rhs)))
+        )
+
+    @pytest.mark.parametrize("position", [0, 3, 6])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int64])
+    def test_insert_matches_fresh_qr(self, position, dtype):
+        A = random_matrix(25, 7, seed=20)
+        # The offered values may arrive in any dtype (routing columns are
+        # 0/1 uint8); the update must treat them as float64.
+        A[:, position] = A[:, position].astype(dtype)
+        base = np.delete(A, position, axis=1)
+        factorization = QRFactorization.factorize(
+            base, columns=[c for c in range(7) if c != position]
+        )
+        updated = factorization.add_column(
+            A[:, position].astype(dtype), position, position
+        )
+        assert updated.columns == tuple(range(7))
+        assert np.allclose(updated.q @ updated.r, A, atol=1e-10)
+        assert np.allclose(updated.q.T @ updated.q, np.eye(7), atol=1e-10)
+        fresh = QRFactorization.factorize(A)
+        assert self.solve_gap(updated, fresh) < 1e-8
+        # The parent factorization is untouched (fresh-copy contract).
+        assert np.allclose(factorization.q @ factorization.r, base, atol=1e-10)
+
+    def test_grow_from_empty(self):
+        A = random_matrix(10, 3, seed=21)
+        factorization = QRFactorization.factorize(A[:, :0], columns=[])
+        for j in range(3):
+            factorization = factorization.add_column(A[:, j], j)
+        assert factorization.columns == (0, 1, 2)
+        assert np.allclose(factorization.q @ factorization.r, A, atol=1e-10)
+        assert self.solve_gap(factorization, QRFactorization.factorize(A)) < 1e-8
+
+    def test_insert_into_single_column(self):
+        A = random_matrix(8, 2, seed=22)
+        one = QRFactorization.factorize(A[:, 1:], columns=[1])
+        both = one.add_column(A[:, 0], 0, 0)
+        assert both.columns == (0, 1)
+        assert np.allclose(both.q @ both.r, A, atol=1e-10)
+
+    def test_dependent_column_rejected(self):
+        A = random_matrix(12, 4, seed=23)
+        factorization = QRFactorization.factorize(A)
+        dependent = A @ np.array([1.0, -2.0, 0.5, 3.0])
+        with pytest.raises(scipy_linalg.LinAlgError):
+            factorization.add_column(dependent, 4)
+        with pytest.raises(scipy_linalg.LinAlgError):
+            factorization.add_column(np.zeros(12), 4)
+
+    def test_independent_column_onto_rank_deficient_base(self):
+        A = random_matrix(10, 3, seed=24)
+        A[:, 2] = A[:, 0] + A[:, 1]  # deficient base, but spans only 2 dims
+        factorization = QRFactorization.factorize(A)
+        assert not factorization.full_rank
+        extra = random_matrix(10, 1, seed=25)[:, 0]
+        grown = factorization.add_column(extra, 3)
+        stacked = np.column_stack([A, extra])
+        assert np.allclose(grown.q @ grown.r, stacked, atol=1e-10)
+
+    def test_validation(self):
+        factorization = QRFactorization.factorize(random_matrix(6, 2, seed=26))
+        with pytest.raises(ValueError):
+            factorization.add_column(np.ones(5), 2)  # wrong length
+        with pytest.raises(IndexError):
+            factorization.add_column(np.ones(6), 2, position=3)
+
+    def test_grow_then_shrink_round_trip(self):
+        A = random_matrix(20, 6, seed=27)
+        base = QRFactorization.factorize(A[:, :5], columns=range(5))
+        for position in (0, 2, 5):
+            grown = base.add_column(A[:, 5], 5, position)
+            back = grown.remove_column(position)
+            assert back.columns == base.columns
+            assert self.solve_gap(back, base) < 1e-8
+
+
+class TestQRRowAppends:
+    def test_append_matches_fresh_qr(self):
+        A = random_matrix(18, 5, seed=30)
+        for split in (17, 13):
+            factorization = QRFactorization.factorize(A[:split])
+            appended = factorization.append_rows(A[split:])
+            fresh = QRFactorization.factorize(A)
+            assert appended.columns == fresh.columns
+            assert np.allclose(appended.q @ appended.r, A, atol=1e-10)
+            assert np.allclose(
+                appended.q.T @ appended.q, np.eye(5), atol=1e-10
+            )
+            rhs = np.linspace(0.0, 1.0, 18)
+            assert np.allclose(
+                appended.solve(rhs), fresh.solve(rhs), atol=1e-8
+            )
+
+    def test_single_row_as_1d(self):
+        A = random_matrix(9, 4, seed=31)
+        appended = QRFactorization.factorize(A[:8]).append_rows(A[8])
+        assert np.allclose(appended.q @ appended.r, A, atol=1e-10)
+
+    def test_zero_rows_returns_self(self):
+        factorization = QRFactorization.factorize(random_matrix(7, 3, seed=32))
+        assert factorization.append_rows(np.empty((0, 3))) is factorization
+
+    def test_width_validated(self):
+        factorization = QRFactorization.factorize(random_matrix(7, 3, seed=33))
+        with pytest.raises(ValueError):
+            factorization.append_rows(np.ones((2, 4)))

@@ -96,6 +96,17 @@ class TestMonitor:
             OnlineLossMonitor(routing, refresh_interval=0)
         with pytest.raises(ValueError):
             OnlineLossMonitor(routing, z_threshold=0)
+        with pytest.raises(ValueError):
+            OnlineLossMonitor(routing, downdate_limit=-1)
+        with pytest.raises(ValueError):
+            OnlineLossMonitor(routing, update_limit=-1)
+
+    def test_cache_info_passthrough(self, monitored_stream):
+        _, _, routing, _, _ = monitored_stream
+        monitor = OnlineLossMonitor(routing)
+        info = monitor.cache_info()
+        assert set(info) == {"factorization", "reduction"}
+        assert all(value.entries == 0 for value in info.values())
 
 
 class TestRefreshDowndate:
@@ -144,6 +155,130 @@ class TestRefreshDowndate:
         assert saw_all_varying  # all three links localized while varying
         assert monitor.factorization_downdates >= 1
         assert clearing not in monitor.currently_congested()
+
+
+class TestRefreshUpdate:
+    """A refresh that re-flags a link updates R* instead of refactorizing."""
+
+    @staticmethod
+    def snapshot_at(routing, t, joining):
+        from repro.probing.snapshot import Snapshot
+
+        # Noise-free log link rates (the downdate test's stream run in
+        # reverse): two columns vary throughout, the joining column goes
+        # active at t = 14, so a later refresh adds exactly one kept
+        # column.
+        R = routing.matrix.astype(np.float64)
+        x = np.zeros(routing.num_links)
+        level = -0.02 if t % 2 == 0 else -0.05
+        for column in (2, 10):
+            x[column] = level
+        if t >= 14:
+            x[joining] = level
+        return Snapshot(path_transmission=np.exp(R @ x), num_probes=1000)
+
+    def test_growing_kept_set_updates(self, small_tree):
+        _, _, routing = small_tree
+        joining = 20
+        monitor = OnlineLossMonitor(
+            routing, window=6, refresh_interval=2, localize_always=True
+        )
+        report = None
+        for t in range(28):
+            report = monitor.observe(self.snapshot_at(routing, t, joining))
+
+        assert monitor.factorization_updates >= 1
+        assert monitor.cache_info()["reduction"].updates >= 1
+        assert joining in monitor.currently_congested()
+
+        # A refactor-from-scratch monitor fed the identical stream
+        # localizes the same losses to update-path precision.
+        cold = OnlineLossMonitor(
+            routing,
+            window=6,
+            refresh_interval=2,
+            localize_always=True,
+            downdate_limit=0,
+            update_limit=0,
+        )
+        cold_report = None
+        for t in range(28):
+            cold_report = cold.observe(self.snapshot_at(routing, t, joining))
+        assert cold.factorization_updates == 0
+        assert np.allclose(
+            report.loss_rates, cold_report.loss_rates, atol=1e-8
+        )
+
+
+class TestIncrementalVariance:
+    """Rolling-moment refreshes agree with the batch window path."""
+
+    @staticmethod
+    def stream(routing, steps):
+        from repro.probing.snapshot import Snapshot
+
+        R = routing.matrix.astype(np.float64)
+        for t in range(steps):
+            x = np.zeros(routing.num_links)
+            x[2] = -0.02 - 0.01 * (t % 3)
+            x[10] = -0.03 - 0.01 * ((t + 1) % 2)
+            yield Snapshot(path_transmission=np.exp(R @ x), num_probes=800)
+
+    def test_matches_batch_refresh(self, small_tree, monkeypatch):
+        import repro.monitor.online as online
+
+        # A tiny rebase interval so the drift-bounding resummation runs
+        # mid-stream too.
+        monkeypatch.setattr(online, "MOMENTS_REBASE_INTERVAL", 7)
+        _, _, routing = small_tree
+        kwargs = dict(window=6, refresh_interval=2, localize_always=True)
+        fast = OnlineLossMonitor(routing, **kwargs)
+        batch = OnlineLossMonitor(
+            routing, incremental_variance=False, **kwargs
+        )
+        compared = 0
+        for snap in self.stream(routing, 24):
+            fast_report = fast.observe(snap)
+            batch_report = batch.observe(snap)
+            if fast_report.loss_rates is not None:
+                assert batch_report.loss_rates is not None
+                assert np.allclose(
+                    fast_report.loss_rates,
+                    batch_report.loss_rates,
+                    atol=1e-8,
+                )
+                compared += 1
+        assert compared >= 10
+        assert fast.variance_refreshes == batch.variance_refreshes
+
+    def test_constant_stream_skips_the_solve(self, small_tree):
+        from repro.probing.snapshot import Snapshot
+
+        _, _, routing = small_tree
+        snap = Snapshot(
+            path_transmission=np.full(routing.num_paths, 0.99),
+            num_probes=500,
+        )
+        monitor = OnlineLossMonitor(
+            routing, window=4, refresh_interval=1, localize_always=True
+        )
+        for _ in range(12):
+            monitor.observe(snap)
+        # Identical covariances since the last refresh: the solve is
+        # skipped, the estimate stays exact.
+        assert monitor.variance_refreshes >= 2
+        assert monitor.variance_solves_skipped >= 1
+
+        batch = OnlineLossMonitor(
+            routing,
+            window=4,
+            refresh_interval=1,
+            localize_always=True,
+            incremental_variance=False,
+        )
+        for _ in range(12):
+            batch.observe(snap)
+        assert batch.variance_solves_skipped == 0
 
 
 class TestSerialization:

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Run the repro.analysis lint engine — the CI entry point.
+
+Equivalent to ``repro lint`` but importable straight from a checkout
+(the script prepends ``src/`` to ``sys.path`` when repro is not
+installed), so the CI lint job and pre-commit hooks do not depend on an
+editable install.
+
+Usage::
+
+    python scripts/run_reprolint.py src
+    python scripts/run_reprolint.py --format json src scripts examples
+    python scripts/run_reprolint.py --summary-file "$GITHUB_STEP_SUMMARY" src
+
+Exit status: 0 when every finding is suppressed or absent, 1 when
+unsuppressed findings remain, 2 on usage errors (missing paths,
+unknown rules).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    try:
+        from repro.analysis.cli import main as lint_main
+    except ImportError:
+        src = Path(__file__).resolve().parents[1] / "src"
+        sys.path.insert(0, str(src))
+        from repro.analysis.cli import main as lint_main
+    return lint_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

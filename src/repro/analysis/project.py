@@ -1,0 +1,225 @@
+"""The project model the rules run against: parsed modules + import graph.
+
+A :class:`Project` is built from paths (files or directories), parses
+every ``.py`` file once, maps each file to its dotted module name by
+walking up through ``__init__.py`` packages, and derives the *payload
+closure*: the set of modules whose behaviour can reach an experiment
+payload.  Determinism rules only fire inside that closure — a test
+helper calling ``random.random()`` is nobody's business; the same call
+in a module imported by ``repro.experiments`` corrupts seed-for-seed
+reproducibility.
+
+The closure is computed statically from import statements:
+
+* every module under one of :data:`PAYLOAD_ROOTS` is payload-affecting;
+* so is everything those modules (transitively) import;
+* a file *outside* any package (scripts, examples) is treated as a
+  payload entrypoint when it imports anything from the ``repro``
+  package — its output *is* the payload.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import parse_suppressions
+
+__all__ = [
+    "ModuleInfo",
+    "PAYLOAD_ROOTS",
+    "Project",
+    "module_name_for",
+]
+
+#: Packages whose (transitive) imports feed experiment payloads.
+PAYLOAD_ROOTS = (
+    "repro.experiments",
+    "repro.api",
+    "repro.lossmodel",
+    "repro.netsim",
+)
+
+
+def module_name_for(path: Path) -> Tuple[str, bool]:
+    """Dotted module name for *path* and whether it is a package.
+
+    Walks up while the parent directory is a package (``__init__.py``),
+    so ``src/repro/core/engine.py`` maps to ``repro.core.engine``
+    wherever the tree is checked out.  A free-standing script maps to
+    its bare stem.
+    """
+    is_package = path.name == "__init__.py"
+    parts: List[str] = []
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    parts.reverse()
+    if not is_package:
+        parts.append(path.stem)
+    if not parts:
+        parts = [path.stem]
+    return ".".join(parts), is_package
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    name: str
+    is_package: bool
+    source: str
+    tree: ast.Module
+    suppressions: Mapping[int, FrozenSet[str]]
+
+    @property
+    def display_path(self) -> str:
+        """The path findings are reported under (relative when possible)."""
+        try:
+            return os.path.relpath(self.path)
+        except ValueError:  # pragma: no cover - different drive on windows
+            return str(self.path)
+
+
+def _matches_root(name: str, roots: Sequence[str]) -> bool:
+    return any(name == root or name.startswith(root + ".") for root in roots)
+
+
+@dataclass
+class Project:
+    """Every parsed module plus the derived import graph."""
+
+    modules: List[ModuleInfo]
+    payload_roots: Tuple[str, ...] = PAYLOAD_ROOTS
+    _by_name: Dict[str, ModuleInfo] = field(init=False, repr=False)
+    _imports: Dict[str, Tuple[str, ...]] = field(init=False, repr=False)
+    _payload: Optional[FrozenSet[str]] = field(
+        init=False, repr=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        self._by_name = {info.name: info for info in self.modules}
+        self._imports = {}
+
+    def find_module(self, name: str) -> Optional[ModuleInfo]:
+        return self._by_name.get(name)
+
+    def imported_names(self, info: ModuleInfo) -> Tuple[str, ...]:
+        """Raw dotted names *info* imports (relative imports resolved)."""
+        cached = self._imports.get(info.name)
+        if cached is not None:
+            return cached
+        names: List[str] = []
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                names.extend(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(info, node)
+                if base:
+                    names.append(base)
+                    names.extend(f"{base}.{alias.name}" for alias in node.names)
+        resolved = tuple(names)
+        self._imports[info.name] = resolved
+        return resolved
+
+    @staticmethod
+    def _resolve_from(info: ModuleInfo, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        package = info.name.split(".")
+        if not info.is_package:
+            package = package[:-1]
+        hops = node.level - 1
+        if hops:
+            package = package[: len(package) - hops] if hops < len(package) else []
+        parts = package + ([node.module] if node.module else [])
+        return ".".join(parts)
+
+    def import_edges(self, info: ModuleInfo) -> Tuple[str, ...]:
+        """Imports of *info* restricted to modules present in the project."""
+        edges = []
+        for name in self.imported_names(info):
+            if name in self._by_name:
+                edges.append(name)
+        return tuple(edges)
+
+    def payload_modules(self) -> FrozenSet[str]:
+        """Names of in-project modules inside the payload closure."""
+        if self._payload is not None:
+            return self._payload
+        queue = sorted(
+            name
+            for name in self._by_name
+            if _matches_root(name, self.payload_roots)
+        )
+        reached: Set[str] = set(queue)
+        while queue:
+            current = queue.pop()
+            info = self._by_name[current]
+            for edge in self.import_edges(info):
+                if edge not in reached:
+                    reached.add(edge)
+                    queue.append(edge)
+        self._payload = frozenset(reached)
+        return self._payload
+
+    def is_payload(self, info: ModuleInfo) -> bool:
+        """Whether determinism rules apply to *info* (see module docstring)."""
+        if _matches_root(info.name, self.payload_roots):
+            return True
+        if info.name in self.payload_modules():
+            return True
+        if "." not in info.name and not info.is_package:
+            # Free-standing script/example: a payload entrypoint as soon
+            # as it drives the repro package.
+            return any(
+                name == "repro" or name.startswith("repro.")
+                for name in self.imported_names(info)
+            )
+        return False
+
+
+def iter_source_files(paths: Sequence[os.PathLike]) -> List[Path]:
+    """All ``.py`` files under *paths*, sorted, caches skipped."""
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(
+                part.startswith(".") and part not in (".", "..")
+                for part in candidate.parts
+            ):
+                continue
+            seen.setdefault(candidate.resolve(), None)
+    return list(seen)
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises SyntaxError)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    name, is_package = module_name_for(path)
+    return ModuleInfo(
+        path=path,
+        name=name,
+        is_package=is_package,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )

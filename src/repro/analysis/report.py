@@ -1,0 +1,61 @@
+"""Reporters: render a :class:`LintReport` as text, JSON, or markdown.
+
+Text is the human/terminal format (one ``path:line:col: rule: message``
+per finding plus a summary line); JSON is the machine format CI parses;
+markdown feeds ``$GITHUB_STEP_SUMMARY`` so findings show up on the run
+page without digging through logs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+
+__all__ = ["FORMATS", "render", "render_json", "render_markdown", "render_text"]
+
+FORMATS = ("text", "json")
+
+
+def render_text(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    summary = (
+        f"{len(report.findings)} finding(s) "
+        f"({len(report.suppressed)} suppressed) in {report.files} file(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render(report: LintReport, fmt: str) -> str:
+    if fmt == "json":
+        return render_json(report)
+    if fmt == "text":
+        return render_text(report)
+    raise ValueError(f"unknown format {fmt!r}; choose one of {FORMATS}")
+
+
+def render_markdown(report: LintReport) -> str:
+    """A step-summary table: findings if any, else a green one-liner."""
+    if not report.findings:
+        return (
+            f"**reprolint: clean** — {report.files} files, "
+            f"{len(report.rules)} rules, "
+            f"{len(report.suppressed)} documented suppression(s)\n"
+        )
+    lines = [
+        f"**reprolint: {len(report.findings)} finding(s)** "
+        f"in {report.files} files",
+        "",
+        "| location | rule | message |",
+        "| --- | --- | --- |",
+    ]
+    for finding in report.findings:
+        message = finding.message.replace("|", "\\|")
+        lines.append(f"| `{finding.location()}` | {finding.rule_id} | {message} |")
+    lines.append("")
+    return "\n".join(lines)

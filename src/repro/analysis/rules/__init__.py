@@ -1,0 +1,61 @@
+"""Built-in rules: importing this package registers all of them.
+
+Four families, eight rules, each targeting a failure mode this repo has
+actually shipped fixes for (see CHANGES.md PRs 6–9):
+
+========================  ====================================================
+``unseeded-random``       process-global / unseeded RNG in payload modules
+``wall-clock``            ``time.time()`` & friends in payload modules
+``set-iteration``         bare-set iteration order escaping into results
+``registry-sync``         static CLI choice tuples vs runtime registries
+``kernel-parity``         KERNEL_OPS implemented in both kernel tiers
+``njit-unsupported``      nopython-hostile constructs in ``@njit`` bodies
+``unlocked-global``       module globals rebound outside a lock
+``unlocked-mutation``     module containers mutated outside a lock
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import available_rules, register_rule
+from repro.analysis.rules.concurrency import (
+    ContainerMutationRule,
+    GlobalRebindRule,
+)
+from repro.analysis.rules.determinism import (
+    SetIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from repro.analysis.rules.kernel_parity import (
+    KernelTierParityRule,
+    NjitConstructsRule,
+)
+from repro.analysis.rules.registry_sync import RegistrySyncRule
+
+__all__ = [
+    "ContainerMutationRule",
+    "GlobalRebindRule",
+    "KernelTierParityRule",
+    "NjitConstructsRule",
+    "RegistrySyncRule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]
+
+_BUILTINS = (
+    UnseededRandomRule,
+    WallClockRule,
+    SetIterationRule,
+    RegistrySyncRule,
+    KernelTierParityRule,
+    NjitConstructsRule,
+    GlobalRebindRule,
+    ContainerMutationRule,
+)
+
+for _rule_class in _BUILTINS:
+    if _rule_class.rule_id not in available_rules():
+        register_rule(_rule_class())
+del _rule_class

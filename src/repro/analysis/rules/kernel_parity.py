@@ -1,0 +1,173 @@
+"""Kernel-tier parity rules: both tiers implement every ``KERNEL_OPS`` op.
+
+``repro.core.kernels`` promises that the numpy and numba tiers are
+interchangeable: every op named in ``KERNEL_OPS`` exists in both
+backend modules with the same signature (or is explicitly declared
+absent with ``op = None``, the way the numpy tier opts out of the fused
+``gram_matvec``).  Runtime tests prove the *arithmetic* agrees; this
+rule proves the *surface* agrees before anything runs — deleting a
+backend function or renaming a parameter fails the lint, not a
+campaign three layers up.
+
+``njit-unsupported`` complements it: ``@njit`` bodies must avoid
+constructs numba's nopython mode rejects (dict/set comprehensions,
+f-strings) — those fail at first call, which for ``cache=True`` kernels
+can be deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.astutil import (
+    constant_str_sequence,
+    decorator_names,
+    import_bindings,
+    top_level_assignment,
+)
+from repro.analysis.base import Rule
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+
+__all__ = ["KernelTierParityRule", "NjitConstructsRule"]
+
+_KERNELS_PACKAGE = "repro.core.kernels"
+_BACKEND_MODULES = (
+    "repro.core.kernels.numpy_backend",
+    "repro.core.kernels.numba_backend",
+)
+
+
+def _function_signatures(tree: ast.Module) -> Dict[str, List[str]]:
+    """Top-level function name -> positional parameter names."""
+    signatures: Dict[str, List[str]] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            names = [a.arg for a in args.posonlyargs] + [
+                a.arg for a in args.args
+            ]
+            signatures[node.name] = names
+    return signatures
+
+
+def _none_assignments(tree: ast.Module) -> Dict[str, int]:
+    """Names explicitly assigned ``None`` at module level -> line."""
+    nones: Dict[str, int] = {}
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not (isinstance(value, ast.Constant) and value.value is None):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                nones[target.id] = node.lineno
+    return nones
+
+
+class KernelTierParityRule(Rule):
+    rule_id = "kernel-parity"
+    description = (
+        "every KERNEL_OPS entry exists in both kernel backend modules "
+        "with identical parameter names (or an explicit `op = None`)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        package = project.find_module(_KERNELS_PACKAGE)
+        if package is None:
+            return
+        assignment = top_level_assignment(package.tree, "KERNEL_OPS")
+        if assignment is None:
+            yield self.finding(
+                package, 1, 0,
+                "KERNEL_OPS tuple not found; the kernel registry contract "
+                "must stay statically visible",
+            )
+            return
+        stmt, value = assignment
+        ops = constant_str_sequence(value)
+        if ops is None:
+            yield self.finding(
+                package, stmt.lineno, 0,
+                "KERNEL_OPS must be a literal tuple of op-name strings",
+            )
+            return
+        backends: List[Tuple[ModuleInfo, Dict[str, List[str]], Dict[str, int]]] = []
+        for name in _BACKEND_MODULES:
+            module = project.find_module(name)
+            if module is None:
+                yield self.finding(
+                    package, stmt.lineno, 0,
+                    f"kernel backend module {name} is missing from the "
+                    "project; both tiers must exist",
+                )
+                continue
+            backends.append(
+                (module, _function_signatures(module.tree),
+                 _none_assignments(module.tree))
+            )
+        for op in ops:
+            implemented: List[Tuple[ModuleInfo, List[str]]] = []
+            for module, functions, nones in backends:
+                if op in functions:
+                    implemented.append((module, functions[op]))
+                elif op not in nones:
+                    yield self.finding(
+                        module, 1, 0,
+                        f"kernel op {op!r} from KERNEL_OPS has no function "
+                        f"in {module.name} (declare `{op} = None` if this "
+                        "tier intentionally opts out)",
+                    )
+            if len(implemented) == 2 and implemented[0][1] != implemented[1][1]:
+                first, second = implemented
+                yield self.finding(
+                    second[0], 1, 0,
+                    f"kernel op {op!r} signature drifted between tiers: "
+                    f"{first[0].name} takes ({', '.join(first[1])}), "
+                    f"{second[0].name} takes ({', '.join(second[1])})",
+                )
+
+
+#: Constructs numba's nopython mode rejects, by AST node type.
+_UNSUPPORTED = (
+    (ast.DictComp, "dict comprehension"),
+    (ast.SetComp, "set comprehension"),
+    (ast.JoinedStr, "f-string"),
+)
+
+
+class NjitConstructsRule(Rule):
+    rule_id = "njit-unsupported"
+    description = (
+        "@njit function bodies must avoid constructs nopython mode "
+        "rejects (dict/set comprehensions, f-strings)"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        bindings = import_bindings(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            decorators = decorator_names(node, bindings)
+            if not any(
+                name in ("numba.njit", "numba.jit") for name in decorators
+            ):
+                continue
+            for inner in ast.walk(node):
+                for node_type, label in _UNSUPPORTED:
+                    if isinstance(inner, node_type):
+                        yield self.finding(
+                            module,
+                            inner.lineno,
+                            inner.col_offset,
+                            f"{label} inside @njit function "
+                            f"{node.name!r} fails to compile in nopython "
+                            "mode (first call, possibly in a worker)",
+                        )

@@ -14,6 +14,7 @@ prototype) plug in new estimators without touching this package; the CLI
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Tuple, Type
 
 from repro.api.adapters import (
@@ -32,6 +33,9 @@ _REGISTRY: Dict[str, Callable[..., Estimator]] = {
     CLINKEstimator.name: CLINKEstimator,
     TomoEstimator.name: TomoEstimator,
 }
+#: Guards registry mutation: the thread execution backend (and any
+#: embedding service) may register estimators concurrently.
+_REGISTRY_LOCK = threading.Lock()
 
 
 def available() -> Tuple[str, ...]:
@@ -56,16 +60,18 @@ def register(
     """Add (or, with *overwrite*, replace) a backend under *name*."""
     if not name:
         raise ValueError("estimator name must be non-empty")
-    if name in _REGISTRY and not overwrite:
-        raise ValueError(
-            f"estimator {name!r} already registered (pass overwrite=True)"
-        )
-    _REGISTRY[name] = factory
+    with _REGISTRY_LOCK:
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"estimator {name!r} already registered (pass overwrite=True)"
+            )
+        _REGISTRY[name] = factory
 
 
 def unregister(name: str) -> None:
     """Remove a backend (built-ins included — tests restore them)."""
-    _REGISTRY.pop(name, None)
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
 
 
 def estimator_class(name: str) -> Type:

@@ -25,7 +25,12 @@ Five verbs covering the operational loop without writing Python:
     serve shards to a ``--backend remote`` coordinator from this
     machine: connect to ``host:port`` (retrying until the coordinator
     is up), pull shards, stream results back
-    (:mod:`repro.runner.remote`).
+    (:mod:`repro.runner.remote`);
+``lint``
+    run the project-invariant static analysis (:mod:`repro.analysis`)
+    over the given paths — determinism, registry sync, kernel-tier
+    parity, concurrency — and exit non-zero on any unsuppressed
+    finding (CI blocks on ``repro lint src/``).
 
 Examples::
 
@@ -45,6 +50,8 @@ Examples::
     python -m repro experiments fig5 --scale small --backend remote \
         --remote-workers 4
     python -m repro worker coordinator.example.org:7787
+    python -m repro lint src
+    python -m repro lint --format json src scripts examples
 """
 
 from __future__ import annotations
@@ -88,6 +95,11 @@ LOSS_METHOD_CHOICES = ("clink", "lia", "scfs", "tomo")
 #: tests).  ``--variance-solver`` picks LIA's phase-1 solver; the
 #: ``sparse``/``cg`` entries keep 10k-link meshes out of dense algebra.
 VARIANCE_SOLVER_CHOICES = ("wls", "lsmr", "normal", "qr", "nnls", "sparse", "cg")
+#: Static mirror of repro.core.kernels.KERNEL_TIERS: the global
+#: ``--kernel-tier`` flag must parse without importing the kernel
+#: registry.  Every mirror in this module is verified against its
+#: registry by the ``registry-sync`` lint rule (``repro lint src/``).
+KERNEL_TIER_CHOICES = ("auto", "numpy", "numba")
 
 
 def _build_topology(kind: str, size: int, hosts: int, seed: Optional[int]):
@@ -359,6 +371,17 @@ def cmd_worker(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(
+        args.paths,
+        fmt=args.format,
+        rule_ids=args.rule,
+        summary_file=args.summary_file,
+    )
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS
     from repro.experiments.__main__ import run_experiments
@@ -378,7 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--kernel-tier",
-        choices=("auto", "numpy", "numba"),
+        choices=KERNEL_TIER_CHOICES,
         default=None,
         help=(
             "compiled-kernel tier for the inner linear-algebra loops "
@@ -475,6 +498,41 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--seed", type=int, default=0, help="master seed")
     add_runner_arguments(experiments)
     experiments.set_defaults(func=cmd_experiments)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: determinism, registry sync, tier parity",
+        description=(
+            "Run the rule-based AST lint engine (repro.analysis) over "
+            "the given paths.  Exits 1 on any unsuppressed finding; "
+            "suppress per line with `# reprolint: disable=<rule> -- why`."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE_ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    lint.add_argument(
+        "--summary-file",
+        default=None,
+        help="append a markdown summary to this file (CI step summaries)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     worker = sub.add_parser(
         "worker",

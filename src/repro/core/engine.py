@@ -24,6 +24,7 @@ caches through it.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -878,6 +879,10 @@ INFER_MANY_MODES = ("auto", "loop", "packed", "sparse")
 #: How many distinct forests keep a cached :class:`_ForestPlan` alive.
 FOREST_PLAN_LIMIT = 4
 
+#: Guards the plan LRU and its byte counter: the ``thread`` execution
+#: backend runs trials concurrently in one process, so plan lookups,
+#: insertions and evictions from different trials interleave.
+_FOREST_PLAN_LOCK = threading.Lock()
 _forest_plans: "OrderedDict[Tuple, _ForestPlan]" = OrderedDict()
 _forest_plan_max_bytes: Optional[int] = None
 _forest_plan_bytes = 0
@@ -894,7 +899,8 @@ def set_forest_plan_budget(max_bytes: Optional[int]) -> None:
     global _forest_plan_max_bytes
     if max_bytes is not None and max_bytes < 1:
         raise ValueError("max_bytes must be positive (or None)")
-    _forest_plan_max_bytes = max_bytes
+    with _FOREST_PLAN_LOCK:
+        _forest_plan_max_bytes = max_bytes
 
 
 def invalidate_forest_plans() -> None:
@@ -906,8 +912,9 @@ def invalidate_forest_plans() -> None:
     in-place mutation.  Fresh objects get fresh plans automatically.
     """
     global _forest_plan_bytes
-    _forest_plans.clear()
-    _forest_plan_bytes = 0
+    with _FOREST_PLAN_LOCK:
+        _forest_plans.clear()
+        _forest_plan_bytes = 0
 
 
 class _ForestPlan:
@@ -1068,32 +1075,42 @@ def _forest_plan(
         (id(eng), id(est), snap.num_probes, eng.floor)
         for eng, snap, est in runs
     )
-    plan = _forest_plans.get(key)
-    if plan is not None:
-        if np.array_equal(
-            plan.path_counts,
-            np.fromiter(
-                (snap.path_transmission.shape[0] for _, snap, _ in runs),
-                dtype=np.int64,
-                count=len(runs),
-            ),
-        ):
-            _forest_plans.move_to_end(key)
-            return plan
-        del _forest_plans[key]
-        _forest_plan_bytes -= plan.nbytes
+    with _FOREST_PLAN_LOCK:
+        plan = _forest_plans.get(key)
+        if plan is not None:
+            if np.array_equal(
+                plan.path_counts,
+                np.fromiter(
+                    (snap.path_transmission.shape[0] for _, snap, _ in runs),
+                    dtype=np.int64,
+                    count=len(runs),
+                ),
+            ):
+                _forest_plans.move_to_end(key)
+                return plan
+            del _forest_plans[key]
+            _forest_plan_bytes -= plan.nbytes
+    # Resolve the plan outside the lock — it walks every tree's
+    # reduction and factorization, and other threads' forests should
+    # not wait on that.  A racing thread building the same key would
+    # have to share these engine objects, which are not thread-safe to
+    # begin with; last insert simply wins.
     plan = _ForestPlan(runs)
-    _forest_plans[key] = plan
-    _forest_plan_bytes += plan.nbytes
-    while len(_forest_plans) > 1 and (
-        len(_forest_plans) > FOREST_PLAN_LIMIT
-        or (
-            _forest_plan_max_bytes is not None
-            and _forest_plan_bytes > _forest_plan_max_bytes
-        )
-    ):
-        _, evicted = _forest_plans.popitem(last=False)
-        _forest_plan_bytes -= evicted.nbytes
+    with _FOREST_PLAN_LOCK:
+        displaced = _forest_plans.get(key)
+        if displaced is not None:
+            _forest_plan_bytes -= displaced.nbytes
+        _forest_plans[key] = plan
+        _forest_plan_bytes += plan.nbytes
+        while len(_forest_plans) > 1 and (
+            len(_forest_plans) > FOREST_PLAN_LIMIT
+            or (
+                _forest_plan_max_bytes is not None
+                and _forest_plan_bytes > _forest_plan_max_bytes
+            )
+        ):
+            _, evicted = _forest_plans.popitem(last=False)
+            _forest_plan_bytes -= evicted.nbytes
     return plan
 
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 import contextlib
 import importlib.util
 import os
+import threading
 import warnings
 from types import ModuleType
 from typing import Iterator, Optional, Tuple
@@ -101,6 +102,10 @@ def available_tiers() -> Tuple[str, ...]:
     return ("numpy",)
 
 
+#: Guards the tier-selection globals below: the ``thread`` execution
+#: backend shares this process, so a tier switch racing a lazy backend
+#: load must never hand out a module from the wrong tier.
+_TIER_LOCK = threading.RLock()
 #: The explicitly selected tier (None -> resolve from the environment).
 _selected: Optional[str] = None
 #: The active backend module, loaded lazily on first kernel use.
@@ -168,28 +173,32 @@ def set_kernel_tier(tier: Optional[str]) -> str:
             "kernel tier 'numba' requested but numba is not installed; "
             "pip install repro[fast] or use --kernel-tier numpy"
         )
-    _selected = None if tier == "auto" else tier
-    _active = None
-    _active_tier = None
+    with _TIER_LOCK:
+        _selected = None if tier == "auto" else tier
+        _active = None
+        _active_tier = None
     return current_tier() if tier == "auto" else tier
 
 
 def get_kernels() -> ModuleType:
     """The active backend module (loaded and memoized on first use)."""
     global _active, _active_tier
-    tier = current_tier()
-    if _active is None or _active_tier != tier:
-        _active = _load_backend(tier)
-        _active_tier = tier
-    return _active
+    with _TIER_LOCK:
+        tier = current_tier()
+        if _active is None or _active_tier != tier:
+            _active = _load_backend(tier)
+            _active_tier = tier
+        return _active
 
 
 @contextlib.contextmanager
 def use_kernel_tier(tier: str) -> Iterator[str]:
     """Context manager pinning a tier for a ``with`` block (tests, benches)."""
     global _selected, _active, _active_tier
-    saved = (_selected, _active, _active_tier)
+    with _TIER_LOCK:
+        saved = (_selected, _active, _active_tier)
     try:
         yield set_kernel_tier(tier)
     finally:
-        _selected, _active, _active_tier = saved
+        with _TIER_LOCK:
+            _selected, _active, _active_tier = saved

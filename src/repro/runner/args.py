@@ -20,6 +20,13 @@ from typing import Optional
 from repro.runner.backends import available_backends
 from repro.runner.core import ParallelRunner
 
+#: Static mirror of the built-in ``repro.runner.backends._BACKENDS``
+#: registry, kept literal so help text and docs can cite the choices
+#: without importing executor machinery.  The ``registry-sync`` lint
+#: rule verifies it matches the registry; runtime parsing still uses
+#: :func:`available_backends` so plugins appear automatically.
+BACKEND_CHOICES = ("process", "remote", "serial", "thread")
+
 
 def _jobs(value: str) -> int:
     jobs = int(value)

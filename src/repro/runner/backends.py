@@ -48,6 +48,7 @@ result store keep working unchanged because they live runner-side.
 
 from __future__ import annotations
 
+import threading
 import traceback
 from abc import ABC, abstractmethod
 from concurrent.futures import (
@@ -236,6 +237,8 @@ _BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {
     ThreadBackend.name: ThreadBackend,
     "remote": _remote_factory,
 }
+#: Guards registry mutation (same contract as repro.api.registry).
+_BACKENDS_LOCK = threading.Lock()
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -275,13 +278,15 @@ def register_backend(
     """Add (or, with *overwrite*, replace) an execution backend."""
     if not name:
         raise ValueError("backend name must be non-empty")
-    if name in _BACKENDS and not overwrite:
-        raise ValueError(
-            f"backend {name!r} already registered (pass overwrite=True)"
-        )
-    _BACKENDS[name] = factory
+    with _BACKENDS_LOCK:
+        if name in _BACKENDS and not overwrite:
+            raise ValueError(
+                f"backend {name!r} already registered (pass overwrite=True)"
+            )
+        _BACKENDS[name] = factory
 
 
 def unregister_backend(name: str) -> None:
     """Remove a backend (built-ins included — tests restore them)."""
-    _BACKENDS.pop(name, None)
+    with _BACKENDS_LOCK:
+        _BACKENDS.pop(name, None)
